@@ -1,0 +1,69 @@
+"""E7 -- Authenticated vs unauthenticated BFT-CUP (the Section III claim).
+
+The paper argues that signatures collapse the original 120-line BFT-CUP
+protocol into a ~20-line one.  This benchmark quantifies the claim on the
+common phase of both protocols (discovery until sink identification): number
+of messages and identification latency, authenticated Discovery vs flooding
+with reachable reliable broadcast.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.baselines import (
+    run_authenticated_sink_discovery,
+    run_unauthenticated_sink_discovery,
+)
+from repro.graphs.figures import figure_1b
+from repro.graphs.generators import generate_bft_cup_graph
+
+WORKLOADS = {
+    "fig1b": lambda: (figure_1b().graph, 1, figure_1b().faulty),
+    "random f=1, n=9": lambda: _generated(1, 3, 0),
+    "random f=1, n=12": lambda: _generated(1, 6, 1),
+}
+
+
+def _generated(f, non_sink, seed):
+    scenario = generate_bft_cup_graph(f=f, non_sink_size=non_sink, seed=seed)
+    return scenario.graph, f, scenario.faulty
+
+
+def _compare(graph, fault_threshold, faulty):
+    auth = run_authenticated_sink_discovery(graph, fault_threshold, faulty, seed=1)
+    unauth = run_unauthenticated_sink_discovery(graph, fault_threshold, faulty, seed=1)
+    return auth, unauth
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_auth_vs_unauth_sink_discovery(benchmark, experiment_report, workload):
+    graph, fault_threshold, faulty = WORKLOADS[workload]()
+    auth, unauth = benchmark.pedantic(
+        _compare, args=(graph, fault_threshold, faulty), iterations=1, rounds=1
+    )
+    rows = [
+        [
+            "authenticated (Algorithm 1)",
+            auth.messages_sent,
+            max(auth.identification_times.values()),
+            auth.agreement_on_members,
+        ],
+        [
+            "unauthenticated (reachable reliable broadcast)",
+            unauth.messages_sent,
+            max(unauth.identification_times.values()),
+            unauth.agreement_on_members,
+        ],
+        [
+            "message ratio (unauth / auth)",
+            round(unauth.messages_sent / max(auth.messages_sent, 1), 2),
+            "-",
+            "-",
+        ],
+    ]
+    experiment_report(
+        f"Authenticated vs unauthenticated sink discovery ({workload}, n={len(graph)})",
+        render_table(["variant", "messages", "identification latency", "agreement"], rows),
+    )
+    assert auth.all_correct_identified and unauth.all_correct_identified
+    assert auth.messages_sent < unauth.messages_sent

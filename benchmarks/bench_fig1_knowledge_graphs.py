@@ -1,0 +1,46 @@
+"""E2/E3 -- Figure 1: the motivating knowledge connectivity graphs.
+
+* Fig. 1a: the graph violates the BFT-CUP requirements; with process 4
+  silent the two halves of the system identify different sinks and decide
+  different values (consensus unsolvable, as the caption argues).
+* Fig. 1b: the graph satisfies the requirements for ``f = 1``; consensus is
+  solved despite the Byzantine process, under several behaviours.
+"""
+
+import pytest
+
+from repro.analysis import run_consensus
+from repro.analysis.tables import render_table
+from repro.core import ProtocolMode
+from repro.graphs.figures import figure_1a, figure_1b
+from repro.workloads import figure_run_config
+
+
+def test_fig1a_consensus_impossible(benchmark, experiment_report):
+    config = figure_run_config(figure_1a(), mode=ProtocolMode.BFT_CUP, behaviour="silent")
+    result = benchmark.pedantic(run_consensus, args=(config,), iterations=1, rounds=1)
+    rows = [
+        ["graph satisfies Theorem 1", False],
+        ["identification agreement", result.properties.identification_agreement],
+        ["agreement", result.agreement],
+        ["distinct decided values", len(result.properties.distinct_decided_values)],
+        ["messages", result.messages_sent],
+    ]
+    experiment_report("Fig. 1a (silent process 4): consensus fails", render_table(["metric", "value"], rows))
+    assert not result.agreement
+
+
+@pytest.mark.parametrize("behaviour", ["silent", "lying_pd", "wrong_value"])
+def test_fig1b_consensus_solved(benchmark, experiment_report, behaviour):
+    config = figure_run_config(figure_1b(), mode=ProtocolMode.BFT_CUP, behaviour=behaviour)
+    result = benchmark.pedantic(run_consensus, args=(config,), iterations=1, rounds=1)
+    rows = [
+        ["Byzantine behaviour", behaviour],
+        ["sink returned by every correct process", sorted(next(iter(result.identified.values())))],
+        ["agreement", result.agreement],
+        ["termination", result.termination],
+        ["messages", result.messages_sent],
+        ["decision latency (virtual time)", result.latency()],
+    ]
+    experiment_report(f"Fig. 1b ({behaviour} process 4): consensus solved", render_table(["metric", "value"], rows))
+    assert result.consensus_solved

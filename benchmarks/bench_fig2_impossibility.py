@@ -1,0 +1,14 @@
+"""E4 -- Figure 2 / Theorem 7: impossibility with an unknown fault threshold.
+
+Replays the three executions of the indistinguishability argument (systems
+A, B and AB) and reports the decisions, demonstrating the Agreement
+violation the theorem predicts.
+"""
+
+from repro.analysis.impossibility import describe, run_impossibility_experiment
+
+
+def test_theorem7_impossibility(benchmark, experiment_report):
+    outcome = benchmark.pedantic(run_impossibility_experiment, iterations=1, rounds=1)
+    experiment_report("Fig. 2 / Theorem 7", describe(outcome))
+    assert outcome.demonstrates_theorem

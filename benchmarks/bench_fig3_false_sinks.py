@@ -1,0 +1,50 @@
+"""E5 -- Figure 3 / Observation 1: false sinks under a wrong fault threshold.
+
+Evaluates the exact predicate instances the paper discusses on the Fig. 3
+reconstruction: with the wrong threshold ``g = 2`` the set ``{1,2,3,4,6}``
+(plus the silent processes 5 and 7 through ``S2``) passes the sink test,
+while with the true threshold ``f = 1`` it is rejected.  Also verifies that
+system B (the indistinguishability partner with 5 and 7 faulty) still solves
+consensus.
+"""
+
+from repro.analysis import run_consensus
+from repro.analysis.tables import render_table
+from repro.core import ProtocolMode
+from repro.graphs.figures import figure_3a, figure_3b
+from repro.graphs.predicates import KnowledgeView, is_sink_gdi
+from repro.workloads import figure_run_config
+
+
+def _observation_rows():
+    graph = figure_3a().graph
+    received = [1, 2, 3, 4, 6]
+    pds = {node: graph.participant_detector(node) for node in received}
+    known = set(received)
+    for pd in pds.values():
+        known |= pd
+    view = KnowledgeView(known=frozenset(known), pds=pds)
+    s1, s2 = frozenset({1, 2, 3, 4, 6}), frozenset({5, 7})
+    return [
+        ["isSinkGdi(2, {1,2,3,4,6}, {5,7}) (wrong threshold)", is_sink_gdi(view, 2, s1, s2)],
+        ["isSinkGdi(1, {1,2,3,4,6}, {5,7}) (true threshold)", is_sink_gdi(view, 1, s1, s2)],
+    ]
+
+
+def test_fig3_false_sink_instances(benchmark, experiment_report):
+    rows = benchmark.pedantic(_observation_rows, iterations=1, rounds=1)
+    experiment_report("Fig. 3a / Observation 1: false sink instances", render_table(["predicate", "holds"], rows))
+    assert rows[0][1] is True
+    assert rows[1][1] is False
+
+
+def test_fig3b_partner_system_solves_consensus(benchmark, experiment_report):
+    config = figure_run_config(figure_3b(), mode=ProtocolMode.BFT_CUPFT, behaviour="silent")
+    result = benchmark.pedantic(run_consensus, args=(config,), iterations=1, rounds=1)
+    rows = [
+        ["core returned", sorted(next(iter(result.identified.values())))],
+        ["consensus solved", result.consensus_solved],
+        ["messages", result.messages_sent],
+    ]
+    experiment_report("Fig. 3b (processes 5 and 7 faulty, f unknown)", render_table(["metric", "value"], rows))
+    assert result.consensus_solved

@@ -1,0 +1,37 @@
+"""E6 -- Figure 4: solving consensus in the BFT-CUPFT model (unknown f).
+
+Runs the BFT-CUPFT protocol on both Fig. 4 reconstructions under several
+Byzantine behaviours and reports the identified core, the fault-threshold
+estimate and the consensus outcome.
+"""
+
+import pytest
+
+from repro.analysis import run_consensus
+from repro.analysis.tables import render_table
+from repro.core import ProtocolMode
+from repro.graphs.figures import figure_4a, figure_4b
+from repro.workloads import figure_run_config
+
+SCENARIOS = {"fig4a": figure_4a, "fig4b": figure_4b}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("behaviour", ["silent", "lying_pd", "wrong_value"])
+def test_fig4_consensus_without_fault_threshold(benchmark, experiment_report, name, behaviour):
+    scenario = SCENARIOS[name]()
+    config = figure_run_config(scenario, mode=ProtocolMode.BFT_CUPFT, behaviour=behaviour)
+    result = benchmark.pedantic(run_consensus, args=(config,), iterations=1, rounds=1)
+    estimates = sorted({e for e in result.estimated_fault_thresholds.values() if e is not None})
+    rows = [
+        ["Byzantine behaviour", behaviour],
+        ["core returned by every correct process", sorted(next(iter(result.identified.values())))],
+        ["fault-threshold estimate f_Gdi", estimates],
+        ["true Byzantine count", len(scenario.faulty)],
+        ["agreement / termination", f"{result.agreement} / {result.termination}"],
+        ["messages", result.messages_sent],
+        ["decision latency (virtual time)", result.latency()],
+    ]
+    experiment_report(f"Fig. 4 ({name}, {behaviour})", render_table(["metric", "value"], rows))
+    assert result.consensus_solved
+    assert len(set(result.identified.values())) == 1

@@ -1,0 +1,68 @@
+"""E8 -- Scalability of the protocol stack (extension; the paper reports no numbers).
+
+Sweeps the system size and the fault threshold on generated extended k-OSR
+graphs and reports message complexity, identification latency and decision
+latency for both protocol modes.
+"""
+
+import pytest
+
+from repro.analysis import run_consensus
+from repro.analysis.tables import render_table
+from repro.core import ProtocolMode
+from repro.graphs.generators import generate_bft_cup_graph, generate_bft_cupft_graph
+from repro.workloads import generated_run_config
+
+SWEEP = [
+    ("bft-cup", 1, 4),
+    ("bft-cup", 1, 12),
+    ("bft-cup", 2, 8),
+    ("bft-cupft", 1, 4),
+    ("bft-cupft", 1, 12),
+    ("bft-cupft", 2, 8),
+    ("bft-cupft", 3, 8),
+]
+
+
+def _run(mode_name, f, extra):
+    if mode_name == "bft-cup":
+        scenario = generate_bft_cup_graph(f=f, non_sink_size=extra, seed=f * 100 + extra)
+        mode = ProtocolMode.BFT_CUP
+    else:
+        scenario = generate_bft_cupft_graph(f=f, non_core_size=extra, seed=f * 100 + extra)
+        mode = ProtocolMode.BFT_CUPFT
+    config = generated_run_config(scenario, mode=mode, behaviour="silent", seed=1)
+    return scenario, run_consensus(config)
+
+
+def _sweep():
+    rows = []
+    for mode_name, f, extra in SWEEP:
+        scenario, result = _run(mode_name, f, extra)
+        rows.append(
+            [
+                mode_name,
+                f,
+                len(scenario.graph.processes),
+                result.messages_sent,
+                result.identification_latency(),
+                result.latency(),
+                result.consensus_solved,
+            ]
+        )
+    return rows
+
+
+def test_scalability_sweep(benchmark, experiment_report):
+    rows = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    experiment_report(
+        "Scalability sweep (generated graphs, silent Byzantine processes)",
+        render_table(
+            ["protocol", "f", "n", "messages", "identify latency", "decide latency", "solved"],
+            rows,
+        ),
+    )
+    assert all(row[-1] for row in rows)
+    # Message complexity grows with the system size within each protocol mode.
+    cup_rows = [row for row in rows if row[0] == "bft-cup" and row[1] == 1]
+    assert cup_rows[0][3] < cup_rows[1][3]

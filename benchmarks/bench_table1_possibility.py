@@ -1,0 +1,14 @@
+"""E1 -- Table I: (im)possibility of BFT consensus under different models.
+
+Regenerates the paper's Table I as a 3x3 matrix of ✓/✗ outcomes measured on
+the simulator (see :mod:`repro.analysis.table1` for how each cell is
+realised).  The benchmark times one full matrix evaluation.
+"""
+
+from repro.analysis.table1 import build_table, format_table
+
+
+def test_table1_possibility_matrix(benchmark, experiment_report):
+    cells = benchmark.pedantic(build_table, kwargs={"horizon": 2_000.0}, iterations=1, rounds=1)
+    experiment_report("Table I (measured vs paper)", format_table(cells))
+    assert all(cell.matches_paper for cell in cells)

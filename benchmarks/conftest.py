@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints, in addition to the pytest-benchmark timing, the
+table/figure rows it reproduces (via ``report``), so running
+``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's artifacts
+in text form.  The same rows are summarised in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, body: str) -> None:
+    """Print a clearly delimited experiment report."""
+    print(f"\n===== {title} =====")
+    print(body)
+    print("=" * (12 + len(title)))
+
+
+@pytest.fixture(scope="session")
+def experiment_report():
+    return report

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``setup.cfg``.  A classic ``setup.py`` is kept
+(instead of a PEP 517 ``pyproject.toml``) so that ``pip install -e .`` works
+in fully offline environments that lack the ``wheel`` package needed for
+PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Reproduction of *Knowledge Connectivity Requirements for Solving BFT
+Consensus with Unknown Participants and Fault Threshold* (ICDCS 2024).
+
+The library implements, on top of a from-scratch discrete-event simulator:
+
+* the knowledge connectivity graph machinery (k-OSR, extended k-OSR, sink
+  and core predicates) -- :mod:`repro.graphs`;
+* the authenticated BFT-CUP protocol (Discovery, Sink, Consensus;
+  Algorithms 1-3) and the BFT-CUPFT protocol (Core algorithm; Algorithm 4)
+  -- :mod:`repro.core`;
+* the inner PBFT-style consensus run by sink/core members -- :mod:`repro.pbft`;
+* the unauthenticated baseline built on reachable reliable broadcast --
+  :mod:`repro.baselines`;
+* Byzantine adversary behaviours -- :mod:`repro.adversary`;
+* the experiment harness reproducing the paper's table and figures --
+  :mod:`repro.analysis` and :mod:`repro.workloads`.
+
+Quickstart
+----------
+
+>>> from repro.graphs.figures import figure_1b
+>>> from repro.workloads import figure_run_config
+>>> from repro.analysis import run_consensus
+>>> from repro.core import ProtocolMode
+>>> result = run_consensus(figure_run_config(figure_1b(), mode=ProtocolMode.BFT_CUP))
+>>> result.consensus_solved
+True
+"""
+
+from repro.analysis import RunConfig, RunResult, run_consensus
+from repro.core import ConsensusNode, ProtocolConfig, ProtocolMode
+from repro.graphs import KnowledgeGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KnowledgeGraph",
+    "ConsensusNode",
+    "ProtocolConfig",
+    "ProtocolMode",
+    "RunConfig",
+    "RunResult",
+    "run_consensus",
+    "__version__",
+]

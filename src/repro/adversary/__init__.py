@@ -1,0 +1,39 @@
+"""Byzantine adversary: fault specifications and faulty node implementations.
+
+The paper assumes a static Byzantine adversary: the set of faulty processes
+is fixed before the execution and the faulty processes may behave
+arbitrarily and collude.  This package provides a catalogue of concrete
+behaviours used by the tests and experiments:
+
+* ``silent``          -- never sends a message (the behaviour used in the
+  paper's Fig. 1a and Scenario I discussions);
+* ``crash``           -- behaves correctly until a given time, then stops
+  (the weaker fault model used by the impossibility proof of Theorem 7);
+* ``lying_pd``        -- advertises a fabricated participant detector
+  (signed with its own key, which the model allows);
+* ``equivocating_pd`` -- advertises different participant detectors to
+  different processes;
+* ``wrong_value``     -- participates correctly in discovery but proposes a
+  poisoned value, equivocates when it is the inner-consensus leader and
+  returns a bogus decided value to non-member queries.
+"""
+
+from repro.adversary.spec import FaultSpec
+from repro.adversary.nodes import (
+    CrashNode,
+    EquivocatingLeaderNode,
+    EquivocatingPdNode,
+    LyingPdNode,
+    SilentNode,
+    build_faulty_node,
+)
+
+__all__ = [
+    "FaultSpec",
+    "SilentNode",
+    "CrashNode",
+    "LyingPdNode",
+    "EquivocatingPdNode",
+    "EquivocatingLeaderNode",
+    "build_faulty_node",
+]

@@ -1,0 +1,27 @@
+"""Experiment harness and result analysis.
+
+* :mod:`repro.analysis.harness` -- build a simulation from a knowledge
+  connectivity graph, a fault assignment and a protocol configuration, run
+  it to completion and collect a :class:`~repro.analysis.harness.RunResult`.
+* :mod:`repro.analysis.properties` -- checkers for the four consensus
+  properties (Validity, Agreement, Termination, Integrity) plus the
+  sink/core identification agreement.
+* :mod:`repro.analysis.tables` -- plain-text table rendering used by the
+  benchmarks and examples to print the paper's tables/figures.
+* :mod:`repro.analysis.table1` -- the Table I possibility-matrix experiment.
+* :mod:`repro.analysis.impossibility` -- the Fig. 2 / Theorem 7
+  indistinguishability experiment.
+"""
+
+from repro.analysis.harness import RunConfig, RunResult, run_consensus
+from repro.analysis.properties import ConsensusProperties, check_properties
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "run_consensus",
+    "ConsensusProperties",
+    "check_properties",
+    "render_table",
+]

@@ -1,0 +1,233 @@
+"""The run-to-decision experiment harness.
+
+Given a knowledge connectivity graph, a fault assignment (which processes
+are Byzantine and how they behave), a protocol configuration and a synchrony
+model, :func:`run_consensus` builds the whole simulated system, lets every
+process propose, runs the simulator until every correct process decided (or
+the horizon is hit), and reports the consensus properties plus message and
+latency statistics.
+
+This is the single entry point used by the examples, the integration tests
+and every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.adversary.nodes import build_faulty_node
+from repro.adversary.spec import FaultSpec
+from repro.analysis.properties import ConsensusProperties, check_properties
+from repro.core.config import ProtocolConfig
+from repro.core.node import ConsensusNode
+from repro.crypto.signatures import KeyRegistry
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, PartialSynchronyModel, SynchronyModel
+from repro.sim.process import Process
+from repro.sim.tracing import SimulationTrace
+
+
+@dataclass
+class RunConfig:
+    """Everything needed to simulate one consensus execution."""
+
+    graph: KnowledgeGraph
+    protocol: ProtocolConfig
+    #: Mapping from faulty process id to its behaviour.  Processes not
+    #: listed here are correct.
+    faulty: dict[ProcessId, FaultSpec] = field(default_factory=dict)
+    #: Proposed values; processes without an entry propose ``f"value-of-{id}"``.
+    proposals: dict[ProcessId, Any] = field(default_factory=dict)
+    synchrony: SynchronyModel | None = None
+    seed: int = 0
+    #: Simulation horizon (virtual time).  Runs that do not terminate by the
+    #: horizon are reported with ``termination=False``.
+    horizon: float = 5_000.0
+    max_events: int = 2_000_000
+    #: Restrict which processes call ``propose``; ``None`` means everyone.
+    participants: frozenset[ProcessId] | None = None
+
+    def proposal_of(self, process: ProcessId) -> Any:
+        return self.proposals.get(process, f"value-of-{process!r}")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated execution."""
+
+    config: RunConfig
+    properties: ConsensusProperties
+    trace: SimulationTrace
+    correct: frozenset[ProcessId]
+    decisions: dict[ProcessId, Any]
+    decision_times: dict[ProcessId, float]
+    identified: dict[ProcessId, frozenset[ProcessId]]
+    identification_times: dict[ProcessId, float]
+    estimated_fault_thresholds: dict[ProcessId, int | None]
+    virtual_duration: float
+    messages_sent: int
+    events_processed: int
+
+    @property
+    def consensus_solved(self) -> bool:
+        return self.properties.consensus_solved
+
+    @property
+    def agreement(self) -> bool:
+        return self.properties.agreement
+
+    @property
+    def termination(self) -> bool:
+        return self.properties.termination
+
+    @property
+    def validity(self) -> bool:
+        return self.properties.validity
+
+    def latency(self) -> float | None:
+        """Virtual time until the last correct decision, or ``None``."""
+        if not self.decision_times:
+            return None
+        return max(self.decision_times.values())
+
+    def identification_latency(self) -> float | None:
+        """Virtual time until the last correct sink/core identification."""
+        times = [self.identification_times[p] for p in self.identification_times if p in self.correct]
+        return max(times) if times else None
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dictionary used by the benchmarks to print result rows."""
+        return {
+            "correct": len(self.correct),
+            "faulty": len(self.config.faulty),
+            "terminated": self.termination,
+            "agreement": self.agreement,
+            "validity": self.validity,
+            "distinct_decisions": len(self.properties.distinct_decided_values),
+            "messages": self.messages_sent,
+            "latency": self.latency(),
+            "identification_latency": self.identification_latency(),
+        }
+
+
+def build_nodes(
+    config: RunConfig,
+    simulator: Simulator,
+    network: Network,
+    registry: KeyRegistry,
+    trace: SimulationTrace,
+) -> dict[ProcessId, Process]:
+    """Instantiate every process of the run (correct and faulty)."""
+    nodes: dict[ProcessId, Process] = {}
+    for process_id in sorted(config.graph.processes, key=repr):
+        pd = config.graph.participant_detector(process_id)
+        key = registry.generate(process_id)
+        spec = config.faulty.get(process_id)
+        if spec is None:
+            nodes[process_id] = ConsensusNode(
+                process_id=process_id,
+                participant_detector=pd,
+                simulator=simulator,
+                network=network,
+                registry=registry,
+                key=key,
+                config=config.protocol,
+                trace=trace,
+            )
+        else:
+            nodes[process_id] = build_faulty_node(
+                spec,
+                process_id=process_id,
+                participant_detector=pd,
+                simulator=simulator,
+                network=network,
+                registry=registry,
+                key=key,
+                config=config.protocol,
+                trace=trace,
+            )
+    return nodes
+
+
+def run_consensus(config: RunConfig) -> RunResult:
+    """Simulate one execution and evaluate the consensus properties."""
+    simulator = Simulator(max_time=config.horizon, max_events=config.max_events)
+    trace = SimulationTrace()
+    synchrony = config.synchrony if config.synchrony is not None else PartialSynchronyModel()
+    network = Network(
+        simulator,
+        synchrony,
+        trace=trace,
+        seed=config.seed,
+        faulty=frozenset(config.faulty),
+    )
+    registry = KeyRegistry(seed=config.seed)
+    nodes = build_nodes(config, simulator, network, registry, trace)
+
+    correct = frozenset(config.graph.processes - set(config.faulty))
+    participants = (
+        config.graph.processes if config.participants is None else config.participants
+    )
+    for process_id, node in nodes.items():
+        if process_id not in participants:
+            continue
+        proposer = getattr(node, "propose", None)
+        if proposer is not None:
+            proposer(config.proposal_of(process_id))
+
+    def all_correct_decided() -> bool:
+        return all(
+            getattr(nodes[process_id], "decided", False) for process_id in correct
+        )
+
+    simulator.run(until=all_correct_decided)
+
+    decisions: dict[ProcessId, Any] = {}
+    decision_times: dict[ProcessId, float] = {}
+    identified: dict[ProcessId, frozenset[ProcessId]] = {}
+    identification_times: dict[ProcessId, float] = {}
+    estimated: dict[ProcessId, int | None] = {}
+    for process_id in correct:
+        node = nodes[process_id]
+        if isinstance(node, ConsensusNode):
+            if node.decided:
+                decisions[process_id] = node.value
+                decision_times[process_id] = node.decided_at if node.decided_at is not None else 0.0
+            if node.identified_members is not None:
+                identified[process_id] = node.identified_members
+                identification_times[process_id] = (
+                    node.identified_at if node.identified_at is not None else 0.0
+                )
+            estimated[process_id] = node.estimated_fault_threshold
+
+    proposals = {
+        process_id: config.proposal_of(process_id) for process_id in config.graph.processes
+    }
+    # Faulty "wrong value" processes can inject their poison value, which is
+    # still a proposed value in the Byzantine validity sense.
+    for process_id, spec in config.faulty.items():
+        if spec.behaviour in {"wrong_value", "equivocating_leader"}:
+            proposals[f"poison::{process_id!r}"] = spec.poison_value
+
+    properties = check_properties(
+        correct=correct,
+        proposals=proposals,
+        decisions=decisions,
+        identified=identified,
+    )
+    return RunResult(
+        config=config,
+        properties=properties,
+        trace=trace,
+        correct=correct,
+        decisions=decisions,
+        decision_times=decision_times,
+        identified=identified,
+        identification_times=identification_times,
+        estimated_fault_thresholds=estimated,
+        virtual_duration=simulator.now,
+        messages_sent=trace.messages_sent,
+        events_processed=simulator.processed_events,
+    )

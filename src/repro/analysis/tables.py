@@ -1,0 +1,44 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None) -> str:
+    """Render a simple aligned ASCII table."""
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    for row in formatted_rows:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)

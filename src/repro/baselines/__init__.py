@@ -1,0 +1,27 @@
+"""Unauthenticated BFT-CUP baseline.
+
+The original BFT-CUP protocol [10] does not use digital signatures; instead,
+a process trusts a piece of information (another process's participant
+detector) only after receiving it through **more than ``f`` node-disjoint
+paths** -- the *reachable reliable broadcast* primitive.  The paper's
+Section III argues that adding signatures collapses that machinery into the
+20-line Discovery algorithm.  This package implements the unauthenticated
+primitive and a discovery/sink protocol built on it so the claim can be
+quantified (benchmark E7: messages and latency of sink identification,
+authenticated vs unauthenticated).
+"""
+
+from repro.baselines.reachable_broadcast import DisjointPathTracker, FloodedRecord
+from repro.baselines.unauthenticated import (
+    UnauthenticatedDiscoveryNode,
+    run_unauthenticated_sink_discovery,
+    run_authenticated_sink_discovery,
+)
+
+__all__ = [
+    "DisjointPathTracker",
+    "FloodedRecord",
+    "UnauthenticatedDiscoveryNode",
+    "run_unauthenticated_sink_discovery",
+    "run_authenticated_sink_discovery",
+]

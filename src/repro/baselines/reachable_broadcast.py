@@ -1,0 +1,91 @@
+"""Reachable reliable broadcast: delivery after > f node-disjoint paths.
+
+In the unauthenticated BFT-CUP model a Byzantine relay can alter any message
+it forwards, so a receiver only trusts content that arrived through more
+than ``f`` node-disjoint relay paths: at least one of those paths is then
+fully correct, and (because correct relays do not alter content) the
+delivered copy is authentic.
+
+:class:`DisjointPathTracker` implements the receiver side: it accumulates
+the relay paths over which each distinct content arrived and reports the
+maximum number of internally node-disjoint paths among them (computed with
+the same max-flow machinery used for the graph connectivity checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.connectivity import node_disjoint_path_count
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+
+
+@dataclass(frozen=True)
+class FloodedRecord:
+    """A piece of content flooded through the network with its relay path.
+
+    ``path`` is the sequence of processes the copy traversed, starting at
+    the originator and excluding the final receiver.
+    """
+
+    origin: ProcessId
+    content: Any
+    path: tuple[ProcessId, ...]
+
+    def extended(self, relay: ProcessId) -> "FloodedRecord":
+        """The record as re-forwarded by ``relay``."""
+        return FloodedRecord(origin=self.origin, content=self.content, path=self.path + (relay,))
+
+
+@dataclass
+class DisjointPathTracker:
+    """Tracks, per (origin, content), the relay paths a receiver has seen."""
+
+    receiver: ProcessId
+    #: Paths seen so far, keyed by (origin, content).
+    _paths: dict[tuple[ProcessId, Any], set[tuple[ProcessId, ...]]] = field(default_factory=dict)
+
+    def record(self, flooded: FloodedRecord) -> None:
+        """Store one received copy (idempotent)."""
+        key = (flooded.origin, flooded.content)
+        self._paths.setdefault(key, set()).add(tuple(flooded.path))
+
+    def disjoint_path_count(self, origin: ProcessId, content: Any) -> int:
+        """Maximum number of internally node-disjoint paths seen for this content.
+
+        The union of the received relay paths forms a directed graph from
+        the origin to the receiver; by Menger's theorem the maximum number
+        of node-disjoint origin->receiver paths in that union equals the
+        max-flow in its node-split network, which is what we compute.  A
+        direct delivery (empty relay path beyond the origin) counts as one
+        path that cannot be shared with any other.
+        """
+        key = (origin, content)
+        paths = self._paths.get(key)
+        if not paths:
+            return 0
+        graph = KnowledgeGraph()
+        graph.add_process(origin)
+        graph.add_process(self.receiver)
+        for path in paths:
+            hops = list(path) + [self.receiver]
+            if hops[0] != origin:
+                hops = [origin] + hops
+            for source, target in zip(hops, hops[1:]):
+                graph.add_edge(source, target)
+        if origin == self.receiver:
+            return len(paths)
+        return node_disjoint_path_count(graph, origin, self.receiver)
+
+    def deliverable(self, origin: ProcessId, content: Any, fault_threshold: int) -> bool:
+        """True when the content arrived through more than ``f`` disjoint paths."""
+        return self.disjoint_path_count(origin, content) > fault_threshold
+
+    def contents_from(self, origin: ProcessId) -> list[Any]:
+        """All distinct contents seen claiming to originate at ``origin``."""
+        return [content for (seen_origin, content) in self._paths if seen_origin == origin]
+
+    def seen_paths(self, origin: ProcessId, content: Any) -> int:
+        """Number of distinct relay paths recorded for this content."""
+        return len(self._paths.get((origin, content), ()))

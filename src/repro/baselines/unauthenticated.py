@@ -1,0 +1,272 @@
+"""Unauthenticated discovery + sink identification (the BFT-CUP baseline).
+
+Without signatures, a process cannot trust a forwarded participant detector:
+a Byzantine relay could have altered it.  The original BFT-CUP protocol
+therefore floods PDs along the knowledge graph and a receiver only *accepts*
+a PD once identical copies arrived over more than ``f`` node-disjoint relay
+paths (reachable reliable broadcast).  Direct delivery from the owner itself
+is also accepted (the point-to-point channels are authenticated).
+
+The node below implements that flooding discovery, feeds the accepted PDs
+into the same :class:`~repro.core.locators.SinkLocator` used by the
+authenticated protocol, and stops once the sink is identified.  The
+benchmark ``bench_auth_vs_unauth.py`` compares the number of messages and
+the identification latency against the authenticated Discovery algorithm,
+quantifying the simplification claimed in Section III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.baselines.reachable_broadcast import DisjointPathTracker, FloodedRecord
+from repro.core.config import ProtocolConfig, ProtocolMode
+from repro.core.discovery import DiscoveryState
+from repro.core.locators import SinkLocator
+from repro.crypto.signatures import KeyRegistry
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+from repro.graphs.predicates import KnowledgeView
+from repro.graphs.sink_search import SearchOptions, find_sink_with_fault_threshold
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, PartialSynchronyModel
+from repro.sim.process import Process
+from repro.sim.tracing import SimulationTrace
+
+
+@dataclass(frozen=True)
+class FloodPd:
+    """A flooded (unsigned) participant-detector record with its relay path."""
+
+    record: FloodedRecord
+
+
+class UnauthenticatedDiscoveryNode(Process):
+    """Discovery via flooding + reachable reliable broadcast, then Algorithm 2."""
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        participant_detector: frozenset[ProcessId],
+        simulator: Simulator,
+        network: Network,
+        fault_threshold: int,
+        *,
+        flood_period: float = 5.0,
+        search: SearchOptions | None = None,
+        trace: SimulationTrace | None = None,
+    ) -> None:
+        super().__init__(process_id, participant_detector, simulator, network)
+        self.fault_threshold = fault_threshold
+        self.flood_period = flood_period
+        self.search = search or SearchOptions()
+        self.trace = trace if trace is not None else network.trace
+
+        self.tracker = DisjointPathTracker(receiver=process_id)
+        #: Accepted participant detectors (delivered by reachable broadcast).
+        self.accepted: dict[ProcessId, frozenset[ProcessId]] = {
+            process_id: frozenset(participant_detector)
+        }
+        #: Contents received directly from their origin over the
+        #: authenticated channel (trusted without path counting).
+        self._direct: dict[ProcessId, frozenset[ProcessId]] = {}
+        self.known: set[ProcessId] = set(participant_detector) | {process_id}
+        self.identified_members: frozenset[ProcessId] | None = None
+        self.identified_at: float | None = None
+        self._started = False
+
+        self.on(FloodPd, self._handle_flood)
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._flood_round()
+        self.every(self.flood_period, self._flood_round, label="unauthenticated flood")
+
+    def _flood_round(self) -> None:
+        if self.identified_members is not None:
+            return
+        for owner, pd in sorted(self.accepted.items(), key=lambda item: repr(item[0])):
+            if owner == self.process_id:
+                record = FloodedRecord(origin=owner, content=pd, path=(owner,))
+            else:
+                record = FloodedRecord(origin=owner, content=pd, path=(owner, self.process_id))
+            self.send_to_all(self.known, FloodPd(record=record))
+
+    def _handle_flood(self, sender: ProcessId, message: FloodPd) -> None:
+        record = message.record
+        if not isinstance(record.content, frozenset):
+            return
+        if not record.path or record.path[0] != record.origin:
+            return
+        if record.path[-1] != sender:
+            # The last relay must be the channel sender (channels are
+            # authenticated even though payloads are not signed).
+            return
+        if self.process_id in record.path:
+            return
+        if record.path == (record.origin,) and sender == record.origin:
+            # Direct delivery from the origin itself: trusted immediately.
+            self._direct[record.origin] = record.content
+        self.tracker.record(record)
+        changed = self._try_accept(record.origin)
+        # Forward the copy onwards (flooding), extending the relay path.
+        forwarded = FloodPd(record=record.extended(self.process_id))
+        self.send_to_all(self.known - set(record.path) - {record.origin}, forwarded)
+        if changed:
+            self._attempt_identification()
+
+    def _try_accept(self, origin: ProcessId) -> bool:
+        """Accept ``origin``'s PD once it is trustworthy.
+
+        A PD is trusted either because it was received directly from its
+        origin over the authenticated channel, or because identical copies
+        arrived through more than ``f`` node-disjoint relay paths.
+        """
+        if origin in self.accepted:
+            return False
+        accepted_content: frozenset[ProcessId] | None = None
+        if origin in self._direct:
+            accepted_content = self._direct[origin]
+        else:
+            for content in self.tracker.contents_from(origin):
+                if self.tracker.deliverable(origin, content, self.fault_threshold):
+                    accepted_content = content
+                    break
+        if accepted_content is None:
+            return False
+        self.accepted[origin] = accepted_content
+        self.known.update(accepted_content)
+        self.known.add(origin)
+        return True
+
+    def _attempt_identification(self) -> None:
+        if self.identified_members is not None:
+            return
+        view = KnowledgeView(known=frozenset(self.known), pds=dict(self.accepted))
+        witness = find_sink_with_fault_threshold(view, self.fault_threshold, self.search)
+        if witness is not None:
+            self.identified_members = witness.members
+            self.identified_at = self.now
+            self.trace.on_sink_identified(self.process_id, witness.members, self.now)
+
+
+@dataclass
+class SinkDiscoveryOutcome:
+    """Result of a discovery-only run (used by the baseline benchmark)."""
+
+    identified: dict[ProcessId, frozenset[ProcessId]]
+    identification_times: dict[ProcessId, float]
+    messages_sent: int
+    all_correct_identified: bool
+    agreement_on_members: bool
+    virtual_duration: float
+
+
+def _outcome(
+    nodes: dict[ProcessId, Any],
+    correct: frozenset[ProcessId],
+    trace: SimulationTrace,
+    simulator: Simulator,
+) -> SinkDiscoveryOutcome:
+    identified = {}
+    times = {}
+    for process_id in correct:
+        node = nodes[process_id]
+        members = getattr(node, "identified_members", None)
+        if members is not None:
+            identified[process_id] = members
+            times[process_id] = getattr(node, "identified_at", 0.0) or 0.0
+    return SinkDiscoveryOutcome(
+        identified=identified,
+        identification_times=times,
+        messages_sent=trace.messages_sent,
+        all_correct_identified=set(identified) == set(correct),
+        agreement_on_members=len(set(identified.values())) <= 1,
+        virtual_duration=simulator.now,
+    )
+
+
+def run_unauthenticated_sink_discovery(
+    graph: KnowledgeGraph,
+    fault_threshold: int,
+    faulty: frozenset[ProcessId] = frozenset(),
+    *,
+    seed: int = 0,
+    horizon: float = 2_000.0,
+    synchrony=None,
+) -> SinkDiscoveryOutcome:
+    """Run the unauthenticated (flooding) discovery until every correct process finds the sink."""
+    simulator = Simulator(max_time=horizon)
+    trace = SimulationTrace()
+    network = Network(simulator, synchrony or PartialSynchronyModel(), trace=trace, seed=seed, faulty=faulty)
+    correct = frozenset(graph.processes - faulty)
+    nodes: dict[ProcessId, Process] = {}
+    for process_id in sorted(graph.processes, key=repr):
+        pd = graph.participant_detector(process_id)
+        node = UnauthenticatedDiscoveryNode(
+            process_id, pd, simulator, network, fault_threshold, trace=trace
+        )
+        nodes[process_id] = node
+    for process_id in sorted(correct, key=repr):
+        nodes[process_id].start()
+
+    def done() -> bool:
+        return all(nodes[p].identified_members is not None for p in correct)
+
+    simulator.run(until=done)
+    return _outcome(nodes, correct, trace, simulator)
+
+
+def run_authenticated_sink_discovery(
+    graph: KnowledgeGraph,
+    fault_threshold: int,
+    faulty: frozenset[ProcessId] = frozenset(),
+    *,
+    seed: int = 0,
+    horizon: float = 2_000.0,
+    synchrony=None,
+) -> SinkDiscoveryOutcome:
+    """Run the authenticated Discovery + Sink algorithms (no inner consensus).
+
+    Counterpart of :func:`run_unauthenticated_sink_discovery` used by the
+    baseline benchmark so both sides measure exactly the same phase
+    (discovery until sink identification).
+    """
+    from repro.core.node import ConsensusNode
+
+    simulator = Simulator(max_time=horizon)
+    trace = SimulationTrace()
+    network = Network(simulator, synchrony or PartialSynchronyModel(), trace=trace, seed=seed, faulty=faulty)
+    registry = KeyRegistry(seed=seed)
+    correct = frozenset(graph.processes - faulty)
+    protocol = ProtocolConfig.bft_cup(fault_threshold)
+    nodes: dict[ProcessId, Process] = {}
+    for process_id in sorted(graph.processes, key=repr):
+        pd = graph.participant_detector(process_id)
+        if process_id in faulty:
+            # The baseline comparison uses silent Byzantine processes.
+            nodes[process_id] = Process(process_id, pd, simulator, network)
+            continue
+        nodes[process_id] = ConsensusNode(
+            process_id=process_id,
+            participant_detector=pd,
+            simulator=simulator,
+            network=network,
+            registry=registry,
+            key=registry.generate(process_id),
+            config=protocol,
+            trace=trace,
+        )
+    for process_id in sorted(correct, key=repr):
+        nodes[process_id].propose(f"value-of-{process_id!r}")
+
+    def done() -> bool:
+        return all(nodes[p].identified_members is not None for p in correct)
+
+    simulator.run(until=done)
+    return _outcome(nodes, correct, trace, simulator)

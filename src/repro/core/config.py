@@ -1,0 +1,77 @@
+"""Protocol configuration.
+
+Two protocol modes are provided, matching the two models of the paper:
+
+* ``BFT_CUP`` -- the authenticated BFT-CUP protocol of Section III: every
+  process is given the fault threshold ``f`` and locates the *sink*
+  (Algorithm 2) before running / querying the inner consensus.
+* ``BFT_CUPFT`` -- the BFT-CUPFT protocol of Section VI: no process knows
+  ``f``; processes locate the *core* (Algorithm 4) instead and derive the
+  fault-threshold estimate ``f_Gdi`` from it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graphs.sink_search import SearchOptions
+from repro.pbft.replica import PbftConfig
+
+
+class ProtocolMode(enum.Enum):
+    """Which of the paper's two models the node runs."""
+
+    BFT_CUP = "bft-cup"
+    BFT_CUPFT = "bft-cupft"
+
+
+class QuorumRule(enum.Enum):
+    """Quorum rule used by the inner consensus (see :mod:`repro.pbft.quorum`)."""
+
+    PAPER = "paper"
+    CLASSIC = "classic"
+
+
+@dataclass
+class ProtocolConfig:
+    """Static configuration shared by every correct node in a run."""
+
+    mode: ProtocolMode = ProtocolMode.BFT_CUPFT
+    #: The fault threshold handed to every process.  Mandatory for
+    #: ``BFT_CUP``; must be ``None`` for ``BFT_CUPFT`` (that is the point of
+    #: the model).
+    fault_threshold: int | None = None
+    #: Period of the Discovery algorithm's ``GETPDS`` round (Algorithm 1, line 2).
+    discovery_period: float = 5.0
+    #: Period at which non-members re-request the decided value (Algorithm 3, line 6).
+    query_period: float = 10.0
+    #: Options forwarded to the sink/core predicate searches.
+    search: SearchOptions = field(default_factory=SearchOptions)
+    #: Inner-consensus tuning.
+    pbft: PbftConfig = field(default_factory=PbftConfig)
+    quorum_rule: QuorumRule = QuorumRule.PAPER
+    #: Stop issuing GETPDS requests once the sink/core has been identified.
+    stop_discovery_after_identification: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode is ProtocolMode.BFT_CUP and self.fault_threshold is None:
+            raise ValueError("the BFT-CUP mode requires the fault threshold to be provided")
+        if self.mode is ProtocolMode.BFT_CUPFT and self.fault_threshold is not None:
+            raise ValueError(
+                "the BFT-CUPFT mode forbids providing the fault threshold to processes; "
+                "use BFT_CUP if the threshold is known"
+            )
+        if self.fault_threshold is not None and self.fault_threshold < 0:
+            raise ValueError("the fault threshold must be non-negative")
+        self.pbft.quorum_rule = self.quorum_rule.value
+
+    @classmethod
+    def bft_cup(cls, fault_threshold: int, **kwargs) -> "ProtocolConfig":
+        """Convenience constructor for the known-fault-threshold mode."""
+        return cls(mode=ProtocolMode.BFT_CUP, fault_threshold=fault_threshold, **kwargs)
+
+    @classmethod
+    def bft_cupft(cls, **kwargs) -> "ProtocolConfig":
+        """Convenience constructor for the unknown-fault-threshold mode."""
+        return cls(mode=ProtocolMode.BFT_CUPFT, fault_threshold=None, **kwargs)

@@ -1,0 +1,126 @@
+"""The Discovery algorithm (Algorithm 1) as a pure state machine.
+
+Each process ``i`` keeps three local sets:
+
+* ``S_PD``       -- every signed participant-detector record received so far
+                    (initialised with its own signed record);
+* ``S_known``    -- every process it knows to exist (initialised with
+                    ``PD_i ∪ {i}``);
+* ``S_received`` -- every process whose participant detector it has received
+                    (initialised with ``{i}``).
+
+The state machine is deliberately I/O free: the
+:class:`~repro.core.node.ConsensusNode` drives it from message handlers and
+timers, and the unit tests drive it directly.  Signature verification
+happens here, so Byzantine processes cannot alter or fabricate the record of
+a correct process (they can only lie about their *own* PD, which the model
+permits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.messages import PdRecord
+from repro.crypto.signatures import KeyRegistry, SignedMessage, SigningKey
+from repro.graphs.knowledge_graph import ProcessId
+from repro.graphs.predicates import KnowledgeView
+
+
+@dataclass
+class DiscoveryState:
+    """Local discovery state of one process (Algorithm 1, lines 1 and 4-6)."""
+
+    process_id: ProcessId
+    participant_detector: frozenset[ProcessId]
+    key: SigningKey
+    registry: KeyRegistry
+    #: Claimed PD to advertise.  Correct processes advertise their true PD;
+    #: Byzantine processes may set this to anything (they sign it with their
+    #: own key, which the model allows).
+    advertised_pd: frozenset[ProcessId] | None = None
+
+    records: dict[ProcessId, SignedMessage] = field(init=False, default_factory=dict)
+    known: set[ProcessId] = field(init=False, default_factory=set)
+    received: set[ProcessId] = field(init=False, default_factory=set)
+    #: Monotonic counter bumped whenever the view grows (used by the node to
+    #: avoid re-running the sink/core search when nothing changed).
+    version: int = field(init=False, default=0)
+    rejected_records: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        advertised = (
+            self.participant_detector if self.advertised_pd is None else frozenset(self.advertised_pd)
+        )
+        own_record = self.key.sign(PdRecord(owner=self.process_id, pd=advertised))
+        self.records[self.process_id] = own_record
+        self.known = set(self.participant_detector) | {self.process_id}
+        self.received = {self.process_id}
+        self.version = 1
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 transitions
+    # ------------------------------------------------------------------
+    def snapshot(self) -> frozenset[SignedMessage]:
+        """The ``S_PD`` set to ship in a ``SETPDS`` reply (line 3)."""
+        return frozenset(self.records.values())
+
+    def absorb(self, entries: frozenset[SignedMessage]) -> bool:
+        """Merge a received ``SETPDS`` payload (lines 4-6).
+
+        Entries whose signature does not verify, whose signer differs from
+        the record owner, or whose payload is not a :class:`PdRecord` are
+        discarded (and counted in :attr:`rejected_records`).  Returns
+        ``True`` when the view changed.
+        """
+        changed = False
+        for entry in entries:
+            record = entry.message
+            if not isinstance(record, PdRecord):
+                self.rejected_records += 1
+                continue
+            if entry.signer != record.owner:
+                self.rejected_records += 1
+                continue
+            if not self.registry.verify(entry):
+                self.rejected_records += 1
+                continue
+            if record.owner not in self.records:
+                self.records[record.owner] = entry
+                changed = True
+            if record.owner not in self.received:
+                self.received.add(record.owner)
+                changed = True
+            if record.owner not in self.known:
+                self.known.add(record.owner)
+                changed = True
+            new_members = set(record.pd) - self.known
+            if new_members:
+                self.known.update(new_members)
+                changed = True
+        if changed:
+            self.version += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def view(self) -> KnowledgeView:
+        """The knowledge view used by the sink/core predicates."""
+        pds = {owner: frozenset(entry.message.pd) for owner, entry in self.records.items()}
+        return KnowledgeView(known=frozenset(self.known), pds=pds)
+
+    def pd_of(self, process: ProcessId) -> frozenset[ProcessId] | None:
+        """The (claimed) participant detector received from ``process``, if any."""
+        entry = self.records.get(process)
+        if entry is None:
+            return None
+        return frozenset(entry.message.pd)
+
+    @property
+    def known_count(self) -> int:
+        return len(self.known)
+
+    @property
+    def received_count(self) -> int:
+        return len(self.received)

@@ -1,0 +1,100 @@
+"""Sink and Core locators: Algorithms 2 and 4 as incremental searches.
+
+Both algorithms are "wait until the current knowledge view contains a
+witness" loops; the locators below encapsulate the witness search plus a
+version cache so the search only re-runs when the discovery state changed.
+
+* :class:`SinkLocator` -- Algorithm 2: requires the fault threshold ``f``
+  and returns the sink ``S1 ∪ S2`` once ``isSinkGdi(f, S1, S2)`` holds.
+* :class:`CoreLocator` -- Algorithm 4: no fault threshold; returns the core
+  once the view contains a strongest sink with no equally-strong proper
+  subset (Theorem 8, as clarified in DESIGN.md), together with the implied
+  fault-threshold estimate ``f_Gdi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.discovery import DiscoveryState
+from repro.graphs.knowledge_graph import ProcessId
+from repro.graphs.predicates import SinkWitness
+from repro.graphs.sink_search import (
+    CoreWitness,
+    SearchOptions,
+    find_core_candidate,
+    find_sink_with_fault_threshold,
+)
+
+
+@dataclass
+class SinkLocator:
+    """The Sink algorithm (Algorithm 2): locate the sink given ``f``."""
+
+    fault_threshold: int
+    options: SearchOptions = field(default_factory=SearchOptions)
+    _last_version: int = field(init=False, default=-1)
+    _witness: SinkWitness | None = field(init=False, default=None)
+    attempts: int = field(init=False, default=0)
+
+    def locate(self, discovery: DiscoveryState) -> SinkWitness | None:
+        """Return the sink witness if the current view admits one.
+
+        The result is cached per discovery-state version, so calling this on
+        every message is cheap when nothing changed.
+        """
+        if self._witness is not None:
+            return self._witness
+        if discovery.version == self._last_version:
+            return None
+        self._last_version = discovery.version
+        self.attempts += 1
+        self._witness = find_sink_with_fault_threshold(
+            discovery.view(), self.fault_threshold, self.options
+        )
+        return self._witness
+
+    @property
+    def result(self) -> SinkWitness | None:
+        return self._witness
+
+    def members(self) -> frozenset[ProcessId] | None:
+        """The located sink (``S1 ∪ S2``), or ``None`` when not yet located."""
+        return None if self._witness is None else self._witness.members
+
+    def estimated_fault_threshold(self) -> int | None:
+        """The fault threshold used (the provided ``f``), once located."""
+        return None if self._witness is None else self.fault_threshold
+
+
+@dataclass
+class CoreLocator:
+    """The Core algorithm (Algorithm 4): locate the core without knowing ``f``."""
+
+    options: SearchOptions = field(default_factory=SearchOptions)
+    _last_version: int = field(init=False, default=-1)
+    _core: CoreWitness | None = field(init=False, default=None)
+    attempts: int = field(init=False, default=0)
+
+    def locate(self, discovery: DiscoveryState) -> CoreWitness | None:
+        """Return the core witness if the current view admits one."""
+        if self._core is not None:
+            return self._core
+        if discovery.version == self._last_version:
+            return None
+        self._last_version = discovery.version
+        self.attempts += 1
+        self._core = find_core_candidate(discovery.view(), self.options)
+        return self._core
+
+    @property
+    def result(self) -> CoreWitness | None:
+        return self._core
+
+    def members(self) -> frozenset[ProcessId] | None:
+        """The located core, or ``None`` when not yet located."""
+        return None if self._core is None else self._core.members
+
+    def estimated_fault_threshold(self) -> int | None:
+        """The fault-threshold estimate ``f_Gdi(core)`` once located."""
+        return None if self._core is None else self._core.estimated_f

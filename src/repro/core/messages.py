@@ -1,0 +1,54 @@
+"""Wire messages of the Discovery and Consensus algorithms.
+
+The Discovery algorithm (Algorithm 1) uses two message types:
+
+* ``GETPDS`` -- ask a process to share the participant detectors it has
+  collected so far.
+* ``SETPDS`` -- the reply, carrying a set of *signed* participant-detector
+  records ``⟨i, PD_i⟩_i``.
+
+The Consensus algorithm (Algorithm 3) adds two more for non-sink members:
+
+* ``GETDECIDEDVAL`` -- ask a sink/core member for the decided value.
+* ``DECIDEDVAL`` -- the reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.signatures import SignedMessage
+from repro.graphs.knowledge_graph import ProcessId
+
+
+@dataclass(frozen=True)
+class PdRecord:
+    """The signed content ``⟨owner, PD_owner⟩``: a process and its participant detector."""
+
+    owner: ProcessId
+    pd: frozenset[ProcessId]
+
+
+@dataclass(frozen=True)
+class GetPds:
+    """Request the receiver's collected participant detectors (``GETPDS``)."""
+
+
+@dataclass(frozen=True)
+class SetPds:
+    """Reply carrying signed participant-detector records (``SETPDS``)."""
+
+    entries: frozenset[SignedMessage]
+
+
+@dataclass(frozen=True)
+class GetDecidedValue:
+    """Ask a sink/core member for the decided value (``GETDECIDEDVAL``)."""
+
+
+@dataclass(frozen=True)
+class DecidedValue:
+    """Reply carrying the decided value (``DECIDEDVAL``)."""
+
+    value: Any

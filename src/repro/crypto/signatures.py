@@ -1,0 +1,120 @@
+"""Simulated unforgeable signatures.
+
+Real deployments would use an asymmetric signature scheme; for the
+simulation we only need the *abstraction*: ``sign`` can only be performed
+by the key owner and ``verify`` rejects anything not produced by that owner.
+Tags are deterministic HMAC-like digests over a canonical encoding of the
+message, keyed by a per-process secret, so signed objects are hashable,
+comparable and reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from repro.graphs.knowledge_graph import ProcessId
+
+
+class SignatureError(Exception):
+    """Raised on invalid signing or verification attempts."""
+
+
+def _canonical(message: Any) -> bytes:
+    """Deterministically encode a message for signing.
+
+    Supports the payload shapes used by the protocols: scalars, strings,
+    tuples/lists, frozensets/sets (sorted by repr) and dataclass-like
+    objects exposing ``__dict__``.
+    """
+    if isinstance(message, bytes):
+        return b"b:" + message
+    if isinstance(message, str):
+        return b"s:" + message.encode()
+    if isinstance(message, bool):
+        return b"B:" + str(message).encode()
+    if isinstance(message, (int, float)):
+        return b"n:" + repr(message).encode()
+    if message is None:
+        return b"none"
+    if isinstance(message, (frozenset, set)):
+        parts = sorted(_canonical(item) for item in message)
+        return b"{" + b",".join(parts) + b"}"
+    if isinstance(message, (tuple, list)):
+        return b"[" + b",".join(_canonical(item) for item in message) + b"]"
+    if isinstance(message, dict):
+        parts = sorted(_canonical(key) + b"=" + _canonical(value) for key, value in message.items())
+        return b"d{" + b",".join(parts) + b"}"
+    if hasattr(message, "__dataclass_fields__"):
+        parts = [
+            name.encode() + b"=" + _canonical(getattr(message, name))
+            for name in sorted(message.__dataclass_fields__)
+        ]
+        return b"dc:" + type(message).__name__.encode() + b"(" + b",".join(parts) + b")"
+    return b"r:" + repr(message).encode()
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A message together with the identity of its signer and the tag."""
+
+    signer: ProcessId
+    message: Any
+    tag: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SignedMessage(signer={self.signer!r}, message={self.message!r})"
+
+
+class SigningKey:
+    """The private signing capability of a single process.
+
+    Only the process that owns the key can produce signatures under its
+    identity; the key object is created by the :class:`KeyRegistry` and
+    handed to the owning process at setup time.
+    """
+
+    __slots__ = ("owner", "_secret")
+
+    def __init__(self, owner: ProcessId, secret: bytes) -> None:
+        self.owner = owner
+        self._secret = secret
+
+    def sign(self, message: Any) -> SignedMessage:
+        """Sign ``message`` under the owner's identity."""
+        tag = hmac.new(self._secret, _canonical(message), hashlib.sha256).hexdigest()
+        return SignedMessage(signer=self.owner, message=message, tag=tag)
+
+
+class KeyRegistry:
+    """Key generation and signature verification for a set of processes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._secrets: dict[ProcessId, bytes] = {}
+
+    def generate(self, owner: ProcessId) -> SigningKey:
+        """Create (or return) the signing key of ``owner``."""
+        if owner not in self._secrets:
+            material = f"{self._seed}:{owner!r}".encode()
+            self._secrets[owner] = hashlib.sha256(material).digest()
+        return SigningKey(owner, self._secrets[owner])
+
+    def knows(self, owner: ProcessId) -> bool:
+        """Whether a key has been generated for ``owner``."""
+        return owner in self._secrets
+
+    def verify(self, signed: SignedMessage) -> bool:
+        """Return ``True`` when ``signed`` was produced by its claimed signer."""
+        secret = self._secrets.get(signed.signer)
+        if secret is None:
+            return False
+        expected = hmac.new(secret, _canonical(signed.message), hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, signed.tag)
+
+    def require_valid(self, signed: SignedMessage) -> None:
+        """Raise :class:`SignatureError` when the signature does not verify."""
+        if not self.verify(signed):
+            raise SignatureError(f"invalid signature claimed by {signed.signer!r}")

@@ -1,0 +1,139 @@
+"""Strongly connected components, condensation and sink components.
+
+The paper reduces a knowledge connectivity graph to its strongly connected
+components (SCCs) and requires the resulting DAG to have exactly one *sink*
+component (Definition 1).  A component is a sink if no edge leaves it towards
+another component.  All algorithms here are implemented from scratch
+(iterative Tarjan) so the library has no hard runtime dependency on networkx
+for its core path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+
+
+def strongly_connected_components(graph: KnowledgeGraph) -> list[frozenset[ProcessId]]:
+    """Return the strongly connected components of ``graph``.
+
+    Uses an iterative version of Tarjan's algorithm (no recursion, so large
+    graphs do not hit Python's recursion limit).  Components are returned in
+    reverse topological order of the condensation (sinks first), which is a
+    property of Tarjan's algorithm that :func:`sink_components` relies on
+    only loosely -- it re-checks sink-ness explicitly.
+    """
+    index_counter = 0
+    index: dict[ProcessId, int] = {}
+    lowlink: dict[ProcessId, int] = {}
+    on_stack: set[ProcessId] = set()
+    stack: list[ProcessId] = []
+    components: list[frozenset[ProcessId]] = []
+
+    for root in graph:
+        if root in index:
+            continue
+        # Each frame: (node, iterator over successors)
+        work: list[tuple[ProcessId, list[ProcessId], int]] = [(root, sorted_successors(graph, root), 0)]
+        while work:
+            node, succs, pointer = work.pop()
+            if pointer == 0:
+                index[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            while pointer < len(succs):
+                target = succs[pointer]
+                pointer += 1
+                if target not in index:
+                    work.append((node, succs, pointer))
+                    work.append((target, sorted_successors(graph, target), 0))
+                    recurse = True
+                    break
+                if target in on_stack:
+                    lowlink[node] = min(lowlink[node], index[target])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def sorted_successors(graph: KnowledgeGraph, node: ProcessId) -> list[ProcessId]:
+    """Successors of ``node`` in a deterministic order (for reproducibility)."""
+    return sorted(graph.successors(node), key=repr)
+
+
+def condensation(
+    graph: KnowledgeGraph,
+) -> tuple[list[frozenset[ProcessId]], dict[int, set[int]]]:
+    """Return ``(components, dag)`` where ``dag`` maps component index -> successors.
+
+    The condensation is the directed acyclic graph obtained by contracting
+    each strongly connected component to a single vertex.
+    """
+    components = strongly_connected_components(graph)
+    membership: dict[ProcessId, int] = {}
+    for position, component in enumerate(components):
+        for node in component:
+            membership[node] = position
+    dag: dict[int, set[int]] = {position: set() for position in range(len(components))}
+    for source, target in graph.edges():
+        source_component = membership[source]
+        target_component = membership[target]
+        if source_component != target_component:
+            dag[source_component].add(target_component)
+    return components, dag
+
+
+def sink_components(graph: KnowledgeGraph) -> list[frozenset[ProcessId]]:
+    """Return the sink components of ``graph``.
+
+    A strongly connected component is a *sink* when there is no path from
+    any of its members to a process outside the component (equivalently, no
+    outgoing edge in the condensation).
+    """
+    components, dag = condensation(graph)
+    return [components[i] for i, succs in dag.items() if not succs]
+
+
+def sink_members(graph: KnowledgeGraph) -> frozenset[ProcessId]:
+    """Return the union of the members of all sink components.
+
+    For graphs with exactly one sink (the k-OSR case) this is ``Vsink``.
+    """
+    members: set[ProcessId] = set()
+    for component in sink_components(graph):
+        members.update(component)
+    return frozenset(members)
+
+
+def has_single_sink(graph: KnowledgeGraph) -> bool:
+    """Return ``True`` when the condensation has exactly one sink component."""
+    return len(sink_components(graph)) == 1
+
+
+def is_strongly_connected(graph: KnowledgeGraph, nodes: Iterable[ProcessId] | None = None) -> bool:
+    """Return ``True`` when ``graph`` (or its induced subgraph) is strongly connected."""
+    target = graph if nodes is None else graph.subgraph(nodes)
+    if len(target) <= 1:
+        return True
+    return len(strongly_connected_components(target)) == 1
+
+
+def non_sink_members(graph: KnowledgeGraph) -> frozenset[ProcessId]:
+    """Return the processes that are not members of any sink component."""
+    return frozenset(graph.processes - sink_members(graph))

@@ -1,0 +1,170 @@
+"""The extended ``k``-OSR participant detector (Definition 2) and the core.
+
+A knowledge connectivity graph belongs to the *extended* k-OSR PD class when
+
+* it belongs to the (plain) k-OSR PD class,
+* it contains a distinguished sink, the **core**, such that
+
+  * C1: every other set of processes that is a sink (in the
+    ``isSink*Gdi`` sense of Section V) has strictly smaller connectivity
+    than the core, and
+  * C2: from every process outside the core there are at least
+    ``k_Gdi(core)`` node-disjoint paths to every core member.
+
+Checking C1 exactly requires enumerating the sinks of the graph; this module
+does so exhaustively for small graphs (the regime of the paper's figures and
+of our test workloads) and through the heuristic candidate search of
+:mod:`repro.graphs.sink_search` for larger graphs, in which case the result
+is a sound approximation: a ``True`` answer may rely on the candidate search
+having surfaced every competitive sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.connectivity import node_disjoint_path_count
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+from repro.graphs.osr import osr_report
+from repro.graphs.predicates import KnowledgeView, SinkWitness
+from repro.graphs.sink_search import SearchOptions, find_all_sinks
+
+
+@dataclass(frozen=True)
+class ExtendedOsrReport:
+    """Detailed outcome of an extended k-OSR check."""
+
+    k: int
+    osr_satisfied: bool
+    core: frozenset[ProcessId]
+    core_connectivity: int
+    competing_sinks: tuple[frozenset[ProcessId], ...]
+    min_paths_to_core: int | None
+    satisfied: bool
+    failures: tuple[str, ...] = field(default_factory=tuple)
+
+
+def enumerate_sinks(
+    graph: KnowledgeGraph,
+    options: SearchOptions | None = None,
+) -> list[SinkWitness]:
+    """Enumerate the sink* sets of ``graph`` under full knowledge.
+
+    The omniscient view (all processes known, all PDs available) is used, so
+    this corresponds to the sinks as defined in Section V for the graph
+    itself.
+    """
+    options = options or SearchOptions()
+    view = KnowledgeView.full(graph)
+    return find_all_sinks(view, options)
+
+
+def find_core(
+    graph: KnowledgeGraph,
+    options: SearchOptions | None = None,
+) -> SinkWitness | None:
+    """Return the core of ``graph`` (the unique strongest sink), or ``None``.
+
+    ``None`` is returned when the graph has no sink at all or when the
+    maximum connectivity is attained by more than one sink (Property C1
+    violated, so no core exists).
+    """
+    witnesses = enumerate_sinks(graph, options)
+    if not witnesses:
+        return None
+    best_f = witnesses[0].f
+    strongest = [witness for witness in witnesses if witness.f == best_f]
+    if len(strongest) != 1:
+        return None
+    return strongest[0]
+
+
+def extended_osr_report(
+    graph: KnowledgeGraph,
+    k: int,
+    options: SearchOptions | None = None,
+) -> ExtendedOsrReport:
+    """Check Definition 2 and return a detailed report."""
+    options = options or SearchOptions()
+    failures: list[str] = []
+
+    base = osr_report(graph, k)
+    if not base.satisfied:
+        failures.extend(f"k-OSR: {reason}" for reason in base.failures)
+
+    witnesses = enumerate_sinks(graph, options)
+    if not witnesses:
+        failures.append("no sink* set exists in the graph")
+        return ExtendedOsrReport(
+            k=k,
+            osr_satisfied=base.satisfied,
+            core=frozenset(),
+            core_connectivity=0,
+            competing_sinks=(),
+            min_paths_to_core=None,
+            satisfied=False,
+            failures=tuple(failures),
+        )
+
+    best_f = witnesses[0].f
+    strongest = [witness for witness in witnesses if witness.f == best_f]
+    competing = tuple(witness.members for witness in strongest[1:])
+    core_witness = strongest[0]
+    core = core_witness.members
+    core_connectivity = core_witness.connectivity
+
+    if len(strongest) != 1:
+        failures.append(
+            "Property C1 violated: "
+            f"{len(strongest)} sinks share the maximum connectivity {core_connectivity}"
+        )
+
+    if core_connectivity < k:
+        failures.append(
+            f"core connectivity {core_connectivity} is below k = {k} "
+            "(the graph is k-OSR, so a sink with connectivity >= k must exist)"
+        )
+
+    # Property C2: >= k_Gdi(core) node-disjoint paths from non-core processes
+    # to every core member.
+    min_paths: int | None = None
+    for source in sorted(graph.processes - core, key=repr):
+        for target in sorted(core, key=repr):
+            paths = node_disjoint_path_count(graph, source, target, cutoff=core_connectivity)
+            min_paths = paths if min_paths is None else min(min_paths, paths)
+            if paths < core_connectivity:
+                failures.append(
+                    "Property C2 violated: "
+                    f"only {paths} node-disjoint paths from {source!r} to core member {target!r} "
+                    f"(need {core_connectivity})"
+                )
+                return ExtendedOsrReport(
+                    k=k,
+                    osr_satisfied=base.satisfied,
+                    core=core,
+                    core_connectivity=core_connectivity,
+                    competing_sinks=competing,
+                    min_paths_to_core=min_paths,
+                    satisfied=False,
+                    failures=tuple(failures),
+                )
+
+    return ExtendedOsrReport(
+        k=k,
+        osr_satisfied=base.satisfied,
+        core=core,
+        core_connectivity=core_connectivity,
+        competing_sinks=competing,
+        min_paths_to_core=min_paths,
+        satisfied=not failures,
+        failures=tuple(failures),
+    )
+
+
+def is_extended_k_osr(
+    graph: KnowledgeGraph,
+    k: int,
+    options: SearchOptions | None = None,
+) -> bool:
+    """Return ``True`` when ``graph`` belongs to the extended k-OSR PD class."""
+    return extended_osr_report(graph, k, options).satisfied

@@ -1,0 +1,281 @@
+"""The knowledge connectivity graph (Section II-C of the paper).
+
+A knowledge connectivity graph ``Gdi = (Vdi, Edi)`` has one vertex per
+process and a directed edge ``(i, j)`` whenever process ``i`` *initially
+knows* process ``j``, i.e. ``j`` is in the set returned by ``i``'s
+participant detector ``PD_i``.
+
+The class below is a small, dependency-free directed graph tailored to the
+needs of the paper: process identifiers are arbitrary hashable values
+(usually ``int``), the out-neighbourhood of ``i`` *is* ``PD_i``, and the
+graph supports the subgraph / safe-subgraph operations used throughout the
+paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Any
+
+ProcessId = Hashable
+
+
+class KnowledgeGraph:
+    """Directed graph of "who initially knows whom".
+
+    The graph is mutable while being built (``add_process`` / ``add_edge``)
+    and is otherwise treated as static, mirroring the paper's assumption
+    that each participant detector always returns the same set.
+
+    Parameters
+    ----------
+    pd:
+        Optional mapping ``process id -> iterable of known process ids``
+        used to initialise the graph.  Every process appearing only as a
+        target of an edge is added as a vertex as well.
+    """
+
+    def __init__(self, pd: Mapping[ProcessId, Iterable[ProcessId]] | None = None) -> None:
+        self._succ: dict[ProcessId, set[ProcessId]] = {}
+        self._pred: dict[ProcessId, set[ProcessId]] = {}
+        if pd is not None:
+            for node, known in pd.items():
+                self.add_process(node)
+                for other in known:
+                    self.add_edge(node, other)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_process(self, node: ProcessId) -> None:
+        """Add a process (vertex) to the graph if not already present."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_edge(self, source: ProcessId, target: ProcessId) -> None:
+        """Record that ``source`` initially knows ``target``.
+
+        Self-loops are ignored: a process trivially knows itself and the
+        paper never includes ``i`` in ``PD_i``.
+        """
+        if source == target:
+            self.add_process(source)
+            return
+        self.add_process(source)
+        self.add_process(target)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+
+    def add_edges(self, edges: Iterable[tuple[ProcessId, ProcessId]]) -> None:
+        """Add a collection of directed edges."""
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    def remove_edge(self, source: ProcessId, target: ProcessId) -> None:
+        """Remove the edge ``source -> target`` if present."""
+        self._succ.get(source, set()).discard(target)
+        self._pred.get(target, set()).discard(source)
+
+    def remove_process(self, node: ProcessId) -> None:
+        """Remove a process and all its incident edges."""
+        if node not in self._succ:
+            return
+        for target in self._succ.pop(node):
+            self._pred[target].discard(node)
+        for source in self._pred.pop(node):
+            self._succ[source].discard(node)
+
+    def copy(self) -> "KnowledgeGraph":
+        """Return a deep copy of the graph."""
+        clone = KnowledgeGraph()
+        for node in self._succ:
+            clone.add_process(node)
+        for source, targets in self._succ.items():
+            for target in targets:
+                clone.add_edge(source, target)
+        return clone
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> frozenset[ProcessId]:
+        """The vertex set ``Vdi`` (all processes)."""
+        return frozenset(self._succ)
+
+    @property
+    def nodes(self) -> frozenset[ProcessId]:
+        """Alias of :attr:`processes`."""
+        return self.processes
+
+    def edges(self) -> Iterator[tuple[ProcessId, ProcessId]]:
+        """Iterate over all directed edges ``(i, j)``."""
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def edge_count(self) -> int:
+        """The number of directed edges."""
+        return sum(len(targets) for targets in self._succ.values())
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: ProcessId) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[ProcessId]:
+        return iter(self._succ)
+
+    def has_edge(self, source: ProcessId, target: ProcessId) -> bool:
+        """Return ``True`` when ``source`` initially knows ``target``."""
+        return target in self._succ.get(source, set())
+
+    def participant_detector(self, node: ProcessId) -> frozenset[ProcessId]:
+        """Return ``PD_node``: the processes ``node`` initially knows."""
+        if node not in self._succ:
+            raise KeyError(f"unknown process: {node!r}")
+        return frozenset(self._succ[node])
+
+    # ``successors`` and ``out_neighbours`` are synonyms of the PD.
+    def successors(self, node: ProcessId) -> frozenset[ProcessId]:
+        """Out-neighbours of ``node`` (same as its participant detector)."""
+        return self.participant_detector(node)
+
+    def predecessors(self, node: ProcessId) -> frozenset[ProcessId]:
+        """Processes that initially know ``node``."""
+        if node not in self._pred:
+            raise KeyError(f"unknown process: {node!r}")
+        return frozenset(self._pred[node])
+
+    def out_degree(self, node: ProcessId) -> int:
+        """Number of processes that ``node`` initially knows."""
+        return len(self.participant_detector(node))
+
+    def in_degree(self, node: ProcessId) -> int:
+        """Number of processes that initially know ``node``."""
+        return len(self.predecessors(node))
+
+    def pd_map(self) -> dict[ProcessId, frozenset[ProcessId]]:
+        """Return the whole participant-detector mapping."""
+        return {node: frozenset(targets) for node, targets in self._succ.items()}
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[ProcessId]) -> "KnowledgeGraph":
+        """Return the subgraph induced by ``nodes`` (``Gdi[U]`` in the paper)."""
+        keep = set(nodes)
+        unknown = keep - set(self._succ)
+        if unknown:
+            raise KeyError(f"unknown processes: {sorted(map(repr, unknown))}")
+        sub = KnowledgeGraph()
+        for node in keep:
+            sub.add_process(node)
+        for node in keep:
+            for target in self._succ[node]:
+                if target in keep:
+                    sub.add_edge(node, target)
+        return sub
+
+    def safe_subgraph(self, faulty: Iterable[ProcessId]) -> "KnowledgeGraph":
+        """Return ``Gsafe = Gdi[Π_C]``, the subgraph induced by correct processes.
+
+        Parameters
+        ----------
+        faulty:
+            The set ``Π_F`` of faulty processes to exclude.
+        """
+        faulty_set = set(faulty)
+        return self.subgraph(set(self._succ) - faulty_set)
+
+    def undirected_counterpart(self) -> dict[ProcessId, set[ProcessId]]:
+        """Return the undirected counterpart ``G`` as an adjacency mapping.
+
+        An undirected edge ``{i, j}`` exists whenever ``(i, j)`` or ``(j, i)``
+        is an edge of the directed graph.
+        """
+        adjacency: dict[ProcessId, set[ProcessId]] = {node: set() for node in self._succ}
+        for source, target in self.edges():
+            adjacency[source].add(target)
+            adjacency[target].add(source)
+        return adjacency
+
+    def reversed(self) -> "KnowledgeGraph":
+        """Return the graph with every edge reversed."""
+        rev = KnowledgeGraph()
+        for node in self._succ:
+            rev.add_process(node)
+        for source, target in self.edges():
+            rev.add_edge(target, source)
+        return rev
+
+    # ------------------------------------------------------------------
+    # reachability helpers
+    # ------------------------------------------------------------------
+    def reachable_from(self, node: ProcessId) -> set[ProcessId]:
+        """Return all processes reachable from ``node`` (including itself)."""
+        if node not in self._succ:
+            raise KeyError(f"unknown process: {node!r}")
+        seen = {node}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for target in self._succ[current]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    def is_undirected_connected(self) -> bool:
+        """Return ``True`` when the undirected counterpart is connected."""
+        if not self._succ:
+            return True
+        adjacency = self.undirected_counterpart()
+        start = next(iter(adjacency))
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for neighbour in adjacency[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return len(seen) == len(adjacency)
+
+    # ------------------------------------------------------------------
+    # interoperability / misc
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> Any:
+        """Return an equivalent :class:`networkx.DiGraph` (for cross-checking)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._succ)
+        graph.add_edges_from(self.edges())
+        return graph
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[ProcessId, ProcessId]],
+        nodes: Iterable[ProcessId] | None = None,
+    ) -> "KnowledgeGraph":
+        """Build a graph from an edge list (and optionally isolated nodes)."""
+        graph = cls()
+        if nodes is not None:
+            for node in nodes:
+                graph.add_process(node)
+        graph.add_edges(edges)
+        return graph
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KnowledgeGraph):
+            return NotImplemented
+        return self.pd_map() == other.pd_map()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KnowledgeGraph(processes={len(self)}, edges={self.edge_count()})"
+        )

@@ -1,0 +1,159 @@
+"""A static (omniscient) oracle over a knowledge connectivity graph.
+
+The oracle computes, from the full graph, every quantity the online
+protocols compute from partial views: the sink members, the core, the
+fault-threshold estimate, and the per-process reachability facts used by the
+Discovery algorithm's correctness proof (Theorem 2).  It is used throughout
+the test suite to validate that the distributed algorithms converge to the
+same answers, and by the workload builders to place faults consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.graphs.components import sink_components, sink_members
+from repro.graphs.extended_osr import find_core
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+from repro.graphs.osr import max_osr_k
+from repro.graphs.predicates import KnowledgeView, SinkWitness, f_gdi, k_gdi
+from repro.graphs.sink_search import SearchOptions
+
+
+@dataclass
+class StaticOracle:
+    """Omniscient analysis of a knowledge connectivity graph.
+
+    Parameters
+    ----------
+    graph:
+        The full knowledge connectivity graph ``Gdi``.
+    faulty:
+        The set of faulty processes ``Π_F`` (may be empty).  Quantities with
+        a ``safe_`` prefix are computed on ``Gsafe = Gdi[Π_C]``.
+    options:
+        Search options forwarded to the sink/core searches.
+    """
+
+    graph: KnowledgeGraph
+    faulty: frozenset[ProcessId] = frozenset()
+    options: SearchOptions | None = None
+
+    def __post_init__(self) -> None:
+        self.faulty = frozenset(self.faulty)
+        unknown = self.faulty - self.graph.processes
+        if unknown:
+            raise ValueError(f"faulty processes not in the graph: {sorted(map(repr, unknown))}")
+
+    # ------------------------------------------------------------------
+    # basic sets
+    # ------------------------------------------------------------------
+    @cached_property
+    def correct(self) -> frozenset[ProcessId]:
+        """The correct processes ``Π_C``."""
+        return frozenset(self.graph.processes - self.faulty)
+
+    @cached_property
+    def safe_graph(self) -> KnowledgeGraph:
+        """``Gsafe``: the subgraph induced by the correct processes."""
+        return self.graph.subgraph(self.correct)
+
+    # ------------------------------------------------------------------
+    # sink facts
+    # ------------------------------------------------------------------
+    @cached_property
+    def safe_sink(self) -> frozenset[ProcessId]:
+        """The members of the (unique) sink of ``Gsafe`` (empty when not unique)."""
+        sinks = sink_components(self.safe_graph)
+        if len(sinks) != 1:
+            return frozenset()
+        return sinks[0]
+
+    @cached_property
+    def sink_of_full_graph(self) -> frozenset[ProcessId]:
+        """Union of the sink components of the full graph ``Gdi``."""
+        return sink_members(self.graph)
+
+    @cached_property
+    def expected_sink(self) -> frozenset[ProcessId]:
+        """The set the online Sink/Core algorithms are expected to return.
+
+        Theorem 4's uniqueness argument implicitly treats Byzantine processes
+        that are known by more than ``f`` correct sink members as sink
+        members; the expected answer is therefore the safe sink plus every
+        faulty process with more than ``f`` in-neighbours among the safe
+        sink, where ``f`` is the number of faulty processes tolerated by the
+        graph's connectivity (``max_osr_k(Gsafe) - 1``).
+        """
+        safe_sink = self.safe_sink
+        if not safe_sink:
+            return frozenset()
+        f = max(self.safe_osr_k - 1, 0)
+        extra = set()
+        for candidate in self.faulty:
+            in_neighbours = sum(
+                1 for member in safe_sink if self.graph.has_edge(member, candidate)
+            )
+            if in_neighbours > f:
+                extra.add(candidate)
+        return frozenset(safe_sink | extra)
+
+    @cached_property
+    def safe_osr_k(self) -> int:
+        """The largest ``k`` for which ``Gsafe`` is k-OSR."""
+        return max_osr_k(self.safe_graph)
+
+    # ------------------------------------------------------------------
+    # core facts (BFT-CUPFT)
+    # ------------------------------------------------------------------
+    @cached_property
+    def safe_core_witness(self) -> SinkWitness | None:
+        """The core of ``Gsafe`` (the unique strongest sink), if any."""
+        return find_core(self.safe_graph, self.options)
+
+    @cached_property
+    def safe_core(self) -> frozenset[ProcessId]:
+        """Members of the core of ``Gsafe`` (empty when no core exists)."""
+        witness = self.safe_core_witness
+        return frozenset() if witness is None else witness.members
+
+    @cached_property
+    def expected_core(self) -> frozenset[ProcessId]:
+        """The set the online Core algorithm is expected to return.
+
+        Analogous to :attr:`expected_sink`: the safe core plus Byzantine
+        processes with more than ``f_Gdi(core)`` in-neighbours in it.
+        """
+        witness = self.safe_core_witness
+        if witness is None:
+            return frozenset()
+        extra = set()
+        for candidate in self.faulty:
+            in_neighbours = sum(
+                1 for member in witness.members if self.graph.has_edge(member, candidate)
+            )
+            if in_neighbours > witness.f:
+                extra.add(candidate)
+        return frozenset(witness.members | extra)
+
+    def core_connectivity(self) -> int | None:
+        """``k_Gdi`` of the safe core, or ``None`` when no core exists."""
+        witness = self.safe_core_witness
+        return None if witness is None else witness.connectivity
+
+    # ------------------------------------------------------------------
+    # predicate helpers on the full graph
+    # ------------------------------------------------------------------
+    def full_view(self) -> KnowledgeView:
+        """The omniscient knowledge view of the full graph."""
+        return KnowledgeView.full(self.graph)
+
+    def f_of(self, members: Iterable[ProcessId]) -> int | None:
+        """``f_Gdi(members)`` evaluated on the full graph."""
+        return f_gdi(self.full_view(), members)
+
+    def k_of(self, members: Iterable[ProcessId]) -> int | None:
+        """``k_Gdi(members)`` evaluated on the full graph."""
+        return k_gdi(self.full_view(), members)

@@ -1,0 +1,139 @@
+"""The ``k``-One Sink Reducibility (k-OSR) participant detector (Definition 1).
+
+A knowledge connectivity graph ``Gdi`` belongs to the k-OSR PD class when
+
+* its undirected counterpart is connected,
+* the DAG obtained by contracting strongly connected components has exactly
+  one sink component,
+* that sink component is k-strongly connected, and
+* there are at least ``k`` node-disjoint paths from every process outside
+  the sink to every process inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.components import sink_components
+from repro.graphs.connectivity import (
+    node_disjoint_path_count,
+    vertex_connectivity,
+)
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+
+
+@dataclass(frozen=True)
+class OsrReport:
+    """Detailed outcome of a k-OSR check (useful in tests and diagnostics)."""
+
+    k: int
+    undirected_connected: bool
+    sink_count: int
+    sink: frozenset[ProcessId]
+    sink_connectivity: int
+    min_paths_to_sink: int | None
+    satisfied: bool
+    failures: tuple[str, ...] = field(default_factory=tuple)
+
+
+def osr_report(graph: KnowledgeGraph, k: int) -> OsrReport:
+    """Check Definition 1 and return a detailed report."""
+    failures: list[str] = []
+    undirected_connected = graph.is_undirected_connected()
+    if not undirected_connected:
+        failures.append("undirected counterpart is not connected")
+
+    sinks = sink_components(graph)
+    sink_count = len(sinks)
+    if sink_count != 1:
+        failures.append(f"condensation has {sink_count} sink components (expected exactly 1)")
+        return OsrReport(
+            k=k,
+            undirected_connected=undirected_connected,
+            sink_count=sink_count,
+            sink=frozenset(),
+            sink_connectivity=0,
+            min_paths_to_sink=None,
+            satisfied=False,
+            failures=tuple(failures),
+        )
+    sink = sinks[0]
+
+    sink_connectivity = vertex_connectivity(graph, sink) if len(sink) > 1 else len(sink) - 1
+    if len(sink) == 1:
+        # A single-process sink is vacuously k-strongly connected for every k
+        # (there is no pair of distinct processes to connect).
+        sink_connectivity_ok = True
+        sink_connectivity = 0
+    else:
+        sink_connectivity_ok = sink_connectivity >= k
+    if not sink_connectivity_ok:
+        failures.append(
+            f"sink connectivity is {sink_connectivity}, below the required {k}"
+        )
+
+    min_paths: int | None = None
+    non_sink = graph.processes - sink
+    for source in sorted(non_sink, key=repr):
+        for target in sorted(sink, key=repr):
+            paths = node_disjoint_path_count(graph, source, target, cutoff=max(k, 1))
+            min_paths = paths if min_paths is None else min(min_paths, paths)
+            if paths < k:
+                failures.append(
+                    f"only {paths} node-disjoint paths from non-sink {source!r} "
+                    f"to sink member {target!r} (need {k})"
+                )
+                return OsrReport(
+                    k=k,
+                    undirected_connected=undirected_connected,
+                    sink_count=sink_count,
+                    sink=sink,
+                    sink_connectivity=sink_connectivity,
+                    min_paths_to_sink=min_paths,
+                    satisfied=False,
+                    failures=tuple(failures),
+                )
+
+    satisfied = not failures
+    return OsrReport(
+        k=k,
+        undirected_connected=undirected_connected,
+        sink_count=sink_count,
+        sink=sink,
+        sink_connectivity=sink_connectivity,
+        min_paths_to_sink=min_paths,
+        satisfied=satisfied,
+        failures=tuple(failures),
+    )
+
+
+def is_k_osr(graph: KnowledgeGraph, k: int) -> bool:
+    """Return ``True`` when ``graph`` belongs to the k-OSR PD class."""
+    return osr_report(graph, k).satisfied
+
+
+def max_osr_k(graph: KnowledgeGraph) -> int:
+    """Return the largest ``k`` for which the graph is k-OSR (0 when none).
+
+    The binding quantities are the sink connectivity and the minimum number
+    of node-disjoint paths from non-sink processes to sink processes, so the
+    maximum is computed directly instead of by repeated checks.
+    """
+    if not graph.is_undirected_connected():
+        return 0
+    sinks = sink_components(graph)
+    if len(sinks) != 1:
+        return 0
+    sink = sinks[0]
+    if len(sink) == 1:
+        bound = len(graph)  # vacuously k-strongly connected for any k
+    else:
+        bound = vertex_connectivity(graph, sink)
+    non_sink = graph.processes - sink
+    for source in sorted(non_sink, key=repr):
+        for target in sorted(sink, key=repr):
+            paths = node_disjoint_path_count(graph, source, target, cutoff=bound)
+            bound = min(bound, paths)
+            if bound == 0:
+                return 0
+    return bound

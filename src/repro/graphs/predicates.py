@@ -1,0 +1,305 @@
+"""The sink-identification predicates of the paper.
+
+This module implements, as pure graph predicates:
+
+* ``isSinkGdi(f, S1, S2)`` -- Algorithm 2, line 1 / Theorem 3 (properties
+  P1-P4) of the paper: given a fault threshold ``f``, a set ``S1`` whose
+  participant detectors are available and a set ``S2`` whose participant
+  detectors are not, decide whether ``S1 ∪ S2`` is a sink.
+* ``isSink*Gdi(S)`` -- Section V: a set ``S`` is a sink *without a known
+  fault threshold* when some ``g >= 0`` and some split ``S = S1 ∪ S2``
+  satisfy ``isSinkGdi(g, S1, S2)``.
+* ``f_Gdi(S)`` and ``k_Gdi(S)`` -- the maximum such ``g`` and the resulting
+  connectivity ``f_Gdi(S) + 1``.
+
+The predicates operate on a *knowledge view*: a mapping from process id to
+the (claimed) participant detector of that process, together with the set of
+processes currently known.  The same code is therefore used both by the
+static oracle (where the view is the full knowledge connectivity graph) and
+by the online Sink / Core algorithms (where the view is what a process has
+received so far).
+
+Interpretation of properties P3 and P5
+--------------------------------------
+See DESIGN.md: P3 is implemented as "at most ``f`` members of ``S1`` have an
+outgoing edge to ``known \\ (S1 ∪ S2)``" (the reading consistent with the
+paper's worked example and with the definition of ``S2``).  The literal
+reading ("... to ``known \\ S1``") is available through ``strict_p3=True``
+and is exercised by the ablation benchmark.
+
+Additionally, the implementation enforces ``|S2| <= f`` (called *P5* in this
+code base).  ``S2`` models the sink members whose participant detectors were
+not received because they may be Byzantine (Scenario I of Section III) or
+slow (Scenario II); both scenarios in the paper, the worked example of
+Algorithm 2 (``S2 = {2}``, ``f = 1``) and the instances used in Observation 1
+(``|S2| = 1, f = 1`` and ``|S2| = 2, f = 2``) satisfy this bound.  Without it
+the degenerate ``g = 0`` splits (where ``S2`` absorbs every out-neighbour of
+``S1``) would let *any* strongly connected set of processes declare itself a
+sink, which breaks the Core algorithm of Section VI.  The bound can be
+disabled with ``bound_s2=False`` for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.graphs.connectivity import is_k_strongly_connected, vertex_connectivity
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+
+PdView = Mapping[ProcessId, frozenset[ProcessId]]
+
+
+@dataclass(frozen=True)
+class KnowledgeView:
+    """A (possibly partial) view of the knowledge connectivity graph.
+
+    Attributes
+    ----------
+    known:
+        The set of processes the observer knows to exist (``S_known`` in
+        Algorithm 1).
+    pds:
+        Mapping from process id to that process's (claimed) participant
+        detector, for every process whose PD the observer has *received*
+        (``S_received``).  For Byzantine processes the claimed PD may be
+        arbitrary; for correct processes it is their true PD (signatures
+        prevent forgery).
+    """
+
+    known: frozenset[ProcessId]
+    pds: Mapping[ProcessId, frozenset[ProcessId]]
+
+    @property
+    def received(self) -> frozenset[ProcessId]:
+        """Processes whose participant detector is available in this view."""
+        return frozenset(self.pds)
+
+    def subview(self, nodes: Iterable[ProcessId]) -> "KnowledgeView":
+        """Restrict the view to ``nodes`` (used when searching inside a sink)."""
+        keep = frozenset(nodes)
+        return KnowledgeView(
+            known=self.known & keep,
+            pds={node: pd for node, pd in self.pds.items() if node in keep},
+        )
+
+    def induced_graph(self, nodes: Iterable[ProcessId]) -> KnowledgeGraph:
+        """Build the graph induced by ``nodes`` using the received PDs."""
+        keep = set(nodes)
+        graph = KnowledgeGraph()
+        for node in keep:
+            graph.add_process(node)
+        for node in keep:
+            pd = self.pds.get(node)
+            if pd is None:
+                continue
+            for target in pd:
+                if target in keep:
+                    graph.add_edge(node, target)
+        return graph
+
+    @classmethod
+    def full(cls, graph: KnowledgeGraph) -> "KnowledgeView":
+        """The omniscient view of a whole knowledge connectivity graph."""
+        return cls(known=frozenset(graph.processes), pds=graph.pd_map())
+
+    @classmethod
+    def of_process(cls, graph: KnowledgeGraph, process: ProcessId) -> "KnowledgeView":
+        """The initial view of ``process``: itself, its PD, and its own PD entry."""
+        pd = graph.participant_detector(process)
+        return cls(
+            known=frozenset(pd | {process}),
+            pds={process: pd},
+        )
+
+
+def derived_s2(
+    view: KnowledgeView,
+    f: int,
+    s1: frozenset[ProcessId],
+) -> frozenset[ProcessId]:
+    """Return the set forced by property P4.
+
+    ``S2`` contains every known process outside ``S1`` that has more than
+    ``f`` in-neighbours in ``S1`` (according to the received PDs).
+    """
+    counts: dict[ProcessId, int] = {}
+    for member in s1:
+        for target in view.pds.get(member, frozenset()):
+            if target not in s1:
+                counts[target] = counts.get(target, 0) + 1
+    return frozenset(
+        node for node in view.known - s1 if counts.get(node, 0) > f
+    )
+
+
+def is_sink_gdi(
+    view: KnowledgeView,
+    f: int,
+    s1: Iterable[ProcessId],
+    s2: Iterable[ProcessId],
+    *,
+    strict_p3: bool = False,
+    bound_s2: bool = True,
+) -> bool:
+    """Evaluate the predicate ``isSinkGdi(f, S1, S2)`` on a knowledge view.
+
+    The four properties of Theorem 3 are checked:
+
+    * P1: ``|S1| >= 2f + 1``.
+    * P2: the subgraph induced by ``S1`` (using the received PDs) is
+      ``(f+1)``-strongly connected.
+    * P3: at most ``f`` members of ``S1`` have an outgoing edge to
+      ``known \\ (S1 ∪ S2)`` (or ``known \\ S1`` when ``strict_p3``).
+    * P4: ``S2`` equals exactly the set of known processes outside ``S1``
+      with more than ``f`` in-neighbours in ``S1``.
+    * P5 (interpretation, see module docstring): ``|S2| <= f`` unless
+      ``bound_s2=False``.
+
+    Additionally, the PDs of every member of ``S1`` must be available in the
+    view (``S1 ⊆ S_received``): without them the connectivity of ``S1``
+    cannot be computed, mirroring line 3 of Algorithm 2.
+    """
+    if f < 0:
+        return False
+    s1_set = frozenset(s1)
+    s2_set = frozenset(s2)
+    if not s1_set or (s1_set & s2_set):
+        return False
+    if not s1_set <= view.received:
+        return False
+    if not s2_set <= view.known:
+        return False
+    # P5 (interpretation)
+    if bound_s2 and len(s2_set) > f:
+        return False
+    # P1
+    if len(s1_set) < 2 * f + 1:
+        return False
+    # P4 (cheap, check before the expensive connectivity test)
+    if s2_set != derived_s2(view, f, s1_set):
+        return False
+    # P3
+    if strict_p3:
+        outside = view.known - s1_set
+    else:
+        outside = view.known - s1_set - s2_set
+    escapers = 0
+    for member in s1_set:
+        if view.pds.get(member, frozenset()) & outside:
+            escapers += 1
+    if escapers > f:
+        return False
+    # P2
+    induced = view.induced_graph(s1_set)
+    return is_k_strongly_connected(induced, f + 1)
+
+
+@dataclass(frozen=True)
+class SinkWitness:
+    """A successful evaluation of ``isSinkGdi`` for some split of a set.
+
+    ``members`` is ``S1 ∪ S2``; ``f`` is the fault threshold used;
+    ``connectivity`` is ``k_Gdi = f + 1``.
+    """
+
+    members: frozenset[ProcessId]
+    s1: frozenset[ProcessId]
+    s2: frozenset[ProcessId]
+    f: int
+
+    @property
+    def connectivity(self) -> int:
+        return self.f + 1
+
+
+def sink_star_witness(
+    view: KnowledgeView,
+    members: Iterable[ProcessId],
+    *,
+    strict_p3: bool = False,
+    bound_s2: bool = True,
+    minimum_f: int = 0,
+) -> SinkWitness | None:
+    """Return a witness for ``isSink*Gdi(members)`` with the maximum ``f``.
+
+    The search follows the definition in Section V: it looks for a natural
+    number ``g`` and a split ``members = S1 ∪ S2`` with
+    ``isSinkGdi(g, S1, S2)``.  ``g`` is explored from its largest possible
+    value (``⌊(|members| - 1) / 2⌋``) downwards so the first hit realises
+    ``f_Gdi(members)``.
+
+    For a fixed ``g``, ``S2`` can contain at most ``|members| - (2g + 1)``
+    processes (and at most ``g`` when P5 is enforced), and any process whose
+    PD is missing from the view must be in ``S2``; the split search
+    enumerates the remaining choices of ``S2`` among the members, which
+    keeps the search tractable for the sink sizes used in the paper and in
+    our workloads.
+    """
+    member_set = frozenset(members)
+    if not member_set:
+        return None
+    missing = frozenset(node for node in member_set if node not in view.received)
+    max_g = (len(member_set) - 1) // 2
+    for g in range(max_g, minimum_f - 1, -1):
+        max_s2 = len(member_set) - (2 * g + 1)
+        if bound_s2:
+            max_s2 = min(max_s2, g)
+        if len(missing) > max_s2:
+            continue
+        optional = sorted(member_set - missing, key=repr)
+        for extra_size in range(0, max_s2 - len(missing) + 1):
+            for extra in combinations(optional, extra_size):
+                s2 = missing | frozenset(extra)
+                s1 = member_set - s2
+                if is_sink_gdi(view, g, s1, s2, strict_p3=strict_p3, bound_s2=bound_s2):
+                    return SinkWitness(members=member_set, s1=s1, s2=s2, f=g)
+    return None
+
+
+def is_sink_star(
+    view: KnowledgeView,
+    members: Iterable[ProcessId],
+    *,
+    strict_p3: bool = False,
+    bound_s2: bool = True,
+) -> bool:
+    """``isSink*Gdi(members)``: is some split of ``members`` a sink for some ``g``?"""
+    return sink_star_witness(view, members, strict_p3=strict_p3, bound_s2=bound_s2) is not None
+
+
+def f_gdi(
+    view: KnowledgeView,
+    members: Iterable[ProcessId],
+    *,
+    strict_p3: bool = False,
+    bound_s2: bool = True,
+) -> int | None:
+    """``f_Gdi(members)``: the maximum ``g`` for which the set is a sink, or ``None``."""
+    witness = sink_star_witness(view, members, strict_p3=strict_p3, bound_s2=bound_s2)
+    return None if witness is None else witness.f
+
+
+def k_gdi(
+    view: KnowledgeView,
+    members: Iterable[ProcessId],
+    *,
+    strict_p3: bool = False,
+    bound_s2: bool = True,
+) -> int | None:
+    """``k_Gdi(members) = f_Gdi(members) + 1``, or ``None`` when not a sink."""
+    max_f = f_gdi(view, members, strict_p3=strict_p3, bound_s2=bound_s2)
+    return None if max_f is None else max_f + 1
+
+
+__all__ = [
+    "KnowledgeView",
+    "SinkWitness",
+    "derived_s2",
+    "is_sink_gdi",
+    "sink_star_witness",
+    "is_sink_star",
+    "f_gdi",
+    "k_gdi",
+]

@@ -1,0 +1,137 @@
+"""Model requirement checkers: Theorem 1 (BFT-CUP) and Section V (BFT-CUPFT).
+
+A knowledge connectivity graph *satisfies the requirements of the BFT-CUP
+model* for a fault threshold ``f`` and a set of faulty processes ``Π_F``
+when its safe subgraph ``Gsafe = Gdi[Π_C]``
+
+* belongs to the ``(f+1)``-OSR PD class, and
+* has a sink component with at least ``2f + 1`` processes.
+
+It satisfies the requirements of the **BFT-CUPFT** model when ``Gsafe``
+belongs to the *extended* ``(f+1)``-OSR PD class and the core of ``Gsafe``
+has at least ``2f + 1`` processes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.graphs.extended_osr import ExtendedOsrReport, extended_osr_report
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+from repro.graphs.osr import OsrReport, osr_report
+from repro.graphs.sink_search import SearchOptions
+
+
+@dataclass(frozen=True)
+class BftCupReport:
+    """Outcome of the Theorem 1 check."""
+
+    f: int
+    faulty: frozenset[ProcessId]
+    osr: OsrReport
+    sink: frozenset[ProcessId]
+    sink_size: int
+    satisfied: bool
+    failures: tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class BftCupftReport:
+    """Outcome of the BFT-CUPFT requirement check (Section V)."""
+
+    f: int
+    faulty: frozenset[ProcessId]
+    extended_osr: ExtendedOsrReport
+    core: frozenset[ProcessId]
+    core_size: int
+    satisfied: bool
+    failures: tuple[str, ...] = field(default_factory=tuple)
+
+
+def bft_cup_report(
+    graph: KnowledgeGraph,
+    f: int,
+    faulty: Iterable[ProcessId] = (),
+) -> BftCupReport:
+    """Check whether ``graph`` satisfies the BFT-CUP requirements (Theorem 1)."""
+    faulty_set = frozenset(faulty)
+    failures: list[str] = []
+    if f < 0:
+        failures.append("the fault threshold must be non-negative")
+    if len(faulty_set) > f:
+        failures.append(
+            f"{len(faulty_set)} faulty processes exceed the fault threshold f = {f}"
+        )
+    safe = graph.safe_subgraph(faulty_set)
+    report = osr_report(safe, f + 1)
+    if not report.satisfied:
+        failures.extend(f"Gsafe is not (f+1)-OSR: {reason}" for reason in report.failures)
+    if len(report.sink) < 2 * f + 1:
+        failures.append(
+            f"the sink of Gsafe has {len(report.sink)} processes, fewer than 2f+1 = {2 * f + 1}"
+        )
+    return BftCupReport(
+        f=f,
+        faulty=faulty_set,
+        osr=report,
+        sink=report.sink,
+        sink_size=len(report.sink),
+        satisfied=not failures,
+        failures=tuple(failures),
+    )
+
+
+def satisfies_bft_cup(
+    graph: KnowledgeGraph,
+    f: int,
+    faulty: Iterable[ProcessId] = (),
+) -> bool:
+    """Return ``True`` when ``graph`` satisfies the requirements of Theorem 1."""
+    return bft_cup_report(graph, f, faulty).satisfied
+
+
+def bft_cupft_report(
+    graph: KnowledgeGraph,
+    f: int,
+    faulty: Iterable[ProcessId] = (),
+    options: SearchOptions | None = None,
+) -> BftCupftReport:
+    """Check whether ``graph`` satisfies the BFT-CUPFT requirements (Section V)."""
+    faulty_set = frozenset(faulty)
+    failures: list[str] = []
+    if f < 0:
+        failures.append("the fault threshold must be non-negative")
+    if len(faulty_set) > f:
+        failures.append(
+            f"{len(faulty_set)} faulty processes exceed the fault threshold f = {f}"
+        )
+    safe = graph.safe_subgraph(faulty_set)
+    report = extended_osr_report(safe, f + 1, options)
+    if not report.satisfied:
+        failures.extend(
+            f"Gsafe is not extended (f+1)-OSR: {reason}" for reason in report.failures
+        )
+    if len(report.core) < 2 * f + 1:
+        failures.append(
+            f"the core of Gsafe has {len(report.core)} processes, fewer than 2f+1 = {2 * f + 1}"
+        )
+    return BftCupftReport(
+        f=f,
+        faulty=faulty_set,
+        extended_osr=report,
+        core=report.core,
+        core_size=len(report.core),
+        satisfied=not failures,
+        failures=tuple(failures),
+    )
+
+
+def satisfies_bft_cupft(
+    graph: KnowledgeGraph,
+    f: int,
+    faulty: Iterable[ProcessId] = (),
+    options: SearchOptions | None = None,
+) -> bool:
+    """Return ``True`` when ``graph`` satisfies the BFT-CUPFT requirements."""
+    return bft_cupft_report(graph, f, faulty, options).satisfied

@@ -1,0 +1,263 @@
+"""Searching for sinks (and the core) inside a knowledge view.
+
+The predicates in :mod:`repro.graphs.predicates` *check* whether a given set
+of processes is a sink.  The online Sink and Core algorithms, the static
+oracle and the extended-OSR checker additionally need to *find* candidate
+sets.  Exhaustive enumeration of all subsets is exponential, so the search
+below combines:
+
+* **SCC seeding** -- the natural candidates are the sink strongly connected
+  components of the graph induced by the received PDs (the proof of
+  Theorem 3 constructs ``S1`` from exactly such a component), optionally
+  with up to ``f`` members removed (Byzantine processes may advertise PDs
+  that merge them into, or out of, the component);
+* **bounded exhaustive enumeration** -- for small views (the paper's figures
+  have 7-9 processes) every subset is tried, which both guarantees
+  completeness in tests and serves as a reference implementation for the
+  heuristic search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.graphs.components import sink_components, strongly_connected_components
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+from repro.graphs.predicates import (
+    KnowledgeView,
+    SinkWitness,
+    derived_s2,
+    is_sink_gdi,
+    sink_star_witness,
+)
+
+#: Views with at most this many received processes are searched exhaustively.
+DEFAULT_EXHAUSTIVE_LIMIT = 12
+
+#: Safety valve for the combinatorial parts of the heuristic search.
+DEFAULT_MAX_SUBSETS = 50_000
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Tuning knobs shared by every sink-search entry point."""
+
+    strict_p3: bool = False
+    bound_s2: bool = True
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT
+    max_subsets: int = DEFAULT_MAX_SUBSETS
+
+
+def _received_graph(view: KnowledgeView) -> KnowledgeGraph:
+    """Graph over the received processes, using the received (claimed) PDs."""
+    return view.induced_graph(view.received)
+
+
+def _candidate_s1_sets(view: KnowledgeView, options: SearchOptions) -> Iterator[frozenset[ProcessId]]:
+    """Yield candidate ``S1`` sets, most promising first, without duplicates.
+
+    Candidates are the sink SCCs of the received-PD graph, those components
+    with small subsets removed (to shake off Byzantine processes whose
+    claimed PDs merged them into the component), unions of sink SCCs with
+    other components that only point into them, and -- for small views --
+    every subset of the received processes.
+    """
+    seen: set[frozenset[ProcessId]] = set()
+
+    def emit(candidate: frozenset[ProcessId]) -> Iterator[frozenset[ProcessId]]:
+        if candidate and candidate not in seen:
+            seen.add(candidate)
+            yield candidate
+
+    received_graph = _received_graph(view)
+    components = strongly_connected_components(received_graph)
+    sinks = sink_components(received_graph)
+
+    # 1. Sink SCCs of the received graph and their unions with components
+    #    that are "absorbed" by them (every outgoing edge points into them).
+    for component in sorted(sinks, key=len, reverse=True):
+        yield from emit(component)
+    for component in sorted(components, key=len, reverse=True):
+        yield from emit(component)
+
+    # 2. Sink SCCs with up to a few members removed.  A Byzantine process can
+    #    claim a PD that merges it with the genuine sink component; removing
+    #    it restores a candidate whose connectivity is computable.
+    budget = options.max_subsets
+    for component in sorted(sinks, key=len, reverse=True):
+        members = sorted(component, key=repr)
+        max_removed = min(len(members) - 1, 3)
+        for removed_size in range(1, max_removed + 1):
+            for removed in combinations(members, removed_size):
+                budget -= 1
+                if budget <= 0:
+                    break
+                yield from emit(component - frozenset(removed))
+            if budget <= 0:
+                break
+        if budget <= 0:
+            break
+
+    # 3. Bounded exhaustive enumeration for small views (reference search).
+    received = sorted(view.received, key=repr)
+    if len(received) <= options.exhaustive_limit:
+        for size in range(len(received), 0, -1):
+            for subset in combinations(received, size):
+                yield from emit(frozenset(subset))
+
+
+def find_sink_with_fault_threshold(
+    view: KnowledgeView,
+    f: int,
+    options: SearchOptions | None = None,
+) -> SinkWitness | None:
+    """Line 3 of Algorithm 2: find ``S1, S2`` with ``isSinkGdi(f, S1, S2)``.
+
+    Returns a witness (whose ``members`` are ``S1 ∪ S2``, i.e. the sink the
+    algorithm returns) or ``None`` when the current view does not yet allow
+    the sink to be identified.
+    """
+    options = options or SearchOptions()
+    for s1 in _candidate_s1_sets(view, options):
+        if len(s1) < 2 * f + 1:
+            continue
+        s2 = derived_s2(view, f, s1)
+        if is_sink_gdi(view, f, s1, s2, strict_p3=options.strict_p3, bound_s2=options.bound_s2):
+            return SinkWitness(members=s1 | s2, s1=s1, s2=s2, f=f)
+    return None
+
+
+def find_all_sinks(
+    view: KnowledgeView,
+    options: SearchOptions | None = None,
+    minimum_f: int = 0,
+) -> list[SinkWitness]:
+    """Return every distinct sink* set discoverable from the view.
+
+    For each candidate ``S1`` and each fault value ``g`` (from large to
+    small), the derived ``S2`` is computed and the predicate checked; each
+    distinct member set is reported once, with the witness realising its
+    maximum ``g`` (i.e. ``f_Gdi``).
+    """
+    options = options or SearchOptions()
+    witnesses: dict[frozenset[ProcessId], SinkWitness] = {}
+    for s1 in _candidate_s1_sets(view, options):
+        max_g = (len(s1) - 1) // 2
+        for g in range(max_g, minimum_f - 1, -1):
+            s2 = derived_s2(view, g, s1)
+            if options.bound_s2 and len(s2) > g:
+                continue
+            if not is_sink_gdi(view, g, s1, s2, strict_p3=options.strict_p3, bound_s2=options.bound_s2):
+                continue
+            members = s1 | s2
+            existing = witnesses.get(members)
+            if existing is None or g > existing.f:
+                witnesses[members] = SinkWitness(members=members, s1=s1, s2=s2, f=g)
+    return sorted(witnesses.values(), key=lambda w: (-w.f, -len(w.members), sorted(map(repr, w.members))))
+
+
+def strongest_sinks(
+    view: KnowledgeView,
+    options: SearchOptions | None = None,
+) -> list[SinkWitness]:
+    """Return the sinks with maximal connectivity among all discoverable sinks."""
+    witnesses = find_all_sinks(view, options)
+    if not witnesses:
+        return []
+    best = witnesses[0].f
+    return [witness for witness in witnesses if witness.f == best]
+
+
+def has_stronger_subsink(
+    view: KnowledgeView,
+    members: Iterable[ProcessId],
+    connectivity: int,
+    options: SearchOptions | None = None,
+) -> bool:
+    """Theorem 8(b): is there ``V ⊂ members`` with ``isSink*(V)`` and ``k_Gdi(V) >= connectivity``?
+
+    Only proper subsets are considered.  A subset with connectivity
+    ``connectivity`` needs at least ``2*connectivity - 1`` processes, so the
+    enumeration is restricted to subsets whose size lies in
+    ``[2*connectivity - 1, |members| - 1]``.
+    """
+    options = options or SearchOptions()
+    member_set = frozenset(members)
+    minimum_size = max(1, 2 * connectivity - 1)
+    subview = view.subview(member_set)
+    ordered = sorted(member_set, key=repr)
+    examined = 0
+    for size in range(len(member_set) - 1, minimum_size - 1, -1):
+        for subset in combinations(ordered, size):
+            examined += 1
+            if examined > options.max_subsets:
+                return False
+            witness = sink_star_witness(
+                subview,
+                subset,
+                strict_p3=options.strict_p3,
+                bound_s2=options.bound_s2,
+                minimum_f=connectivity - 1,
+            )
+            if witness is not None and witness.connectivity >= connectivity:
+                return True
+    return False
+
+
+@dataclass(frozen=True)
+class CoreWitness:
+    """A core identification: the sink witness plus the connectivity used."""
+
+    witness: SinkWitness
+
+    @property
+    def members(self) -> frozenset[ProcessId]:
+        return self.witness.members
+
+    @property
+    def connectivity(self) -> int:
+        return self.witness.connectivity
+
+    @property
+    def estimated_f(self) -> int:
+        """The fault-threshold estimate ``f_Gdi`` derived from the core."""
+        return self.witness.f
+
+
+def find_core_candidate(
+    view: KnowledgeView,
+    options: SearchOptions | None = None,
+) -> CoreWitness | None:
+    """Line 2 of Algorithm 4 (as clarified in DESIGN.md).
+
+    Returns a core witness when the current view contains a sink ``S`` such
+    that (a) ``S`` has the strictly maximal connectivity among every sink
+    discoverable from the view and (b) no proper subset of ``S`` is a sink
+    with connectivity ``>= k_Gdi(S)``.  Returns ``None`` otherwise (the
+    caller keeps discovering).
+    """
+    options = options or SearchOptions()
+    best = strongest_sinks(view, options)
+    if len(best) != 1:
+        # No sink at all, or a tie: the core (which must be strictly the
+        # strongest, Property C1) cannot be identified yet.
+        return None
+    witness = best[0]
+    if has_stronger_subsink(view, witness.members, witness.connectivity, options):
+        return None
+    return CoreWitness(witness=witness)
+
+
+__all__ = [
+    "SearchOptions",
+    "CoreWitness",
+    "find_sink_with_fault_threshold",
+    "find_all_sinks",
+    "strongest_sinks",
+    "has_stronger_subsink",
+    "find_core_candidate",
+    "DEFAULT_EXHAUSTIVE_LIMIT",
+    "DEFAULT_MAX_SUBSETS",
+]

@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate.
+
+The paper assumes a partially synchronous message-passing system: there is a
+global stabilisation time (GST) and a bound ``δ`` such that messages between
+correct processes sent after GST are delivered within ``δ``; before GST
+delays are arbitrary.  This package provides a deterministic discrete-event
+simulator implementing exactly that abstraction, plus the authenticated
+reliable point-to-point channels the protocols rely on.
+
+Main pieces:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop and virtual clock.
+* :class:`~repro.sim.network.Network` -- the partial-synchrony delay model
+  (with synchronous and asynchronous variants used by the Table I
+  experiment) and the message transport.
+* :class:`~repro.sim.process.Process` -- base class for protocol processes
+  (message handlers, periodic timers, send primitives).
+* :class:`~repro.sim.tracing.SimulationTrace` -- message and decision
+  statistics collected during a run.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.messages import Envelope
+from repro.sim.network import (
+    AsynchronousModel,
+    Network,
+    PartialSynchronyModel,
+    SynchronyModel,
+    SynchronousModel,
+)
+from repro.sim.process import Process
+from repro.sim.tracing import SimulationTrace
+
+__all__ = [
+    "Simulator",
+    "Envelope",
+    "Network",
+    "SynchronyModel",
+    "PartialSynchronyModel",
+    "SynchronousModel",
+    "AsynchronousModel",
+    "Process",
+    "SimulationTrace",
+]

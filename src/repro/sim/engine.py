@@ -1,0 +1,163 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns a virtual clock and a priority queue of events.
+Each event is a callback scheduled at a virtual time; ties are broken by a
+monotonically increasing sequence number so execution is fully
+deterministic.  The engine knows nothing about processes or networks -- it
+only runs callbacks in time order -- which keeps it reusable for the
+protocol stack, the PBFT substrate and the baselines alike.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+class SimulationLimitExceeded(RuntimeError):
+    """Raised when a run exceeds its configured time or event budget."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`, allowing cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event (no-op if it already ran)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The virtual time at which the event is scheduled."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a virtual clock.
+
+    Parameters
+    ----------
+    max_time:
+        Hard limit on the virtual clock; :meth:`run` stops (or raises,
+        depending on ``raise_on_limit``) when it is reached.  This is the
+        simulation horizon: protocols that have not terminated by then are
+        reported as non-terminating, which is how the impossibility
+        experiments detect stalls.
+    max_events:
+        Hard limit on the number of processed events (guards against
+        livelock in buggy protocols or adversarial schedules).
+    """
+
+    def __init__(self, max_time: float = 1_000_000.0, max_events: int = 5_000_000) -> None:
+        self.max_time = max_time
+        self.max_events = max_events
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed_events = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed_events
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule ``callback`` to run at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        event = _ScheduledEvent(time=time, sequence=next(self._sequence), callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def stop(self) -> None:
+        """Stop the run after the current event finishes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns ``False`` when none is left."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time > self.max_time:
+                return False
+            self._now = event.time
+            self._processed_events += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        *,
+        raise_on_limit: bool = False,
+    ) -> bool:
+        """Run events until ``until()`` is true, the queue drains, or a limit hits.
+
+        Returns ``True`` when ``until`` became true (or the queue drained
+        with no predicate given), ``False`` when a limit was reached first.
+        """
+        self._stopped = False
+        while True:
+            if until is not None and until():
+                return True
+            if self._stopped:
+                return until() if until is not None else True
+            if self._processed_events >= self.max_events:
+                if raise_on_limit:
+                    raise SimulationLimitExceeded(
+                        f"event budget exhausted ({self.max_events} events)"
+                    )
+                return False
+            if not self.step():
+                # Queue drained or horizon reached.
+                if until is None:
+                    return True
+                satisfied = until()
+                if not satisfied and raise_on_limit:
+                    raise SimulationLimitExceeded(
+                        f"virtual-time horizon reached at t={self._now} without satisfying the predicate"
+                    )
+                return satisfied
+
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled placeholders)."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,37 @@
+"""Message envelopes exchanged through the simulated network.
+
+Protocol payloads are ordinary Python objects (dataclasses defined by each
+protocol module); the network wraps them in an :class:`Envelope` carrying
+the sender, the receiver and bookkeeping metadata used by the tracing
+subsystem.  The envelope also carries the *claimed* sender identity
+separately from the authenticated channel identity so tests can exercise
+impersonation attempts (which authenticated channels must reject).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.knowledge_graph import ProcessId
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight between two processes."""
+
+    sender: ProcessId
+    receiver: ProcessId
+    payload: Any
+    sent_at: float
+    kind: str = field(default="")
+
+    def describe(self) -> str:
+        """Short human-readable description (used in traces and debugging)."""
+        kind = self.kind or type(self.payload).__name__
+        return f"{self.sender!r} -> {self.receiver!r}: {kind}"
+
+
+def payload_kind(payload: Any) -> str:
+    """Return a stable short name for a payload (its class name)."""
+    return type(payload).__name__

@@ -1,0 +1,254 @@
+"""Network models: synchrony assumptions and message transport.
+
+The paper's system model (Section II-A) assumes *partial synchrony*: for
+every execution there exist a global stabilisation time (GST) and a bound
+``δ`` such that messages between correct processes sent after GST are
+delivered within ``δ``; before GST delays are arbitrary (but finite).
+
+:class:`PartialSynchronyModel` implements exactly that contract.  Two
+variants are provided for the Table I experiment:
+
+* :class:`SynchronousModel` -- every message (from a correct sender) is
+  delivered within ``δ`` from the start of the execution (GST = 0).
+* :class:`AsynchronousModel` -- there is no GST: an adversarial scheduler
+  may delay any message arbitrarily.  The simulator models "arbitrarily"
+  as "beyond the simulation horizon" for a configurable fraction of
+  messages, which is how the FLP-style ✗ cells of Table I manifest as
+  non-termination within the horizon.
+
+The :class:`Network` combines a synchrony model with the authenticated
+reliable point-to-point channel assumption: messages are never lost,
+duplicated, or forged (an envelope's sender is set by the transport, not by
+the caller), but Byzantine-controlled *senders* may of course put arbitrary
+payloads inside.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.graphs.knowledge_graph import ProcessId
+from repro.sim.engine import Simulator
+from repro.sim.messages import Envelope, payload_kind
+from repro.sim.tracing import SimulationTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.process import Process
+
+
+class SynchronyModel:
+    """Strategy object deciding the delivery delay of each message."""
+
+    def delay(
+        self,
+        *,
+        now: float,
+        sender: ProcessId,
+        receiver: ProcessId,
+        sender_correct: bool,
+        receiver_correct: bool,
+        rng: random.Random,
+    ) -> float | None:
+        """Return the delivery delay, or ``None`` to withhold the message forever."""
+        raise NotImplementedError
+
+
+@dataclass
+class SynchronousModel(SynchronyModel):
+    """Synchronous system: every message is delivered within ``delta``."""
+
+    delta: float = 1.0
+    minimum_delay: float = 0.1
+
+    def delay(self, *, now, sender, receiver, sender_correct, receiver_correct, rng):  # noqa: D102
+        del now, sender, receiver, sender_correct, receiver_correct
+        return self.minimum_delay + rng.random() * (self.delta - self.minimum_delay)
+
+
+@dataclass
+class PartialSynchronyModel(SynchronyModel):
+    """Partially synchronous system with a GST and a post-GST bound ``delta``.
+
+    Before GST, messages between correct processes are delayed by a value
+    drawn from ``[minimum_delay, pre_gst_max_delay]``, but never beyond
+    ``GST + delta`` (the classical presentation: every message sent before
+    GST is delivered by ``GST + delta``).  After GST, delays fall in
+    ``[minimum_delay, delta]``.
+    """
+
+    gst: float = 50.0
+    delta: float = 1.0
+    minimum_delay: float = 0.1
+    pre_gst_max_delay: float = 200.0
+
+    def delay(self, *, now, sender, receiver, sender_correct, receiver_correct, rng):  # noqa: D102
+        del sender, receiver, sender_correct, receiver_correct
+        if now >= self.gst:
+            return self.minimum_delay + rng.random() * max(self.delta - self.minimum_delay, 0.0)
+        raw = self.minimum_delay + rng.random() * max(self.pre_gst_max_delay - self.minimum_delay, 0.0)
+        deliver_at = min(now + raw, self.gst + self.delta)
+        return max(deliver_at - now, self.minimum_delay)
+
+
+@dataclass
+class AsynchronousModel(SynchronyModel):
+    """Asynchronous system: no GST; some messages can be delayed unboundedly.
+
+    ``starvation_probability`` is the chance that a given message is delayed
+    past the simulation horizon (modelling the adversarial scheduler that
+    FLP-style impossibility arguments rely on); ``targeted_links`` can pin
+    the starvation to specific (sender, receiver) pairs, which the Table I
+    experiment uses to starve exactly the messages whose loss prevents
+    termination.
+    """
+
+    delta: float = 1.0
+    minimum_delay: float = 0.1
+    starvation_probability: float = 0.05
+    horizon: float = 1_000_000.0
+    targeted_links: frozenset[tuple[ProcessId, ProcessId]] = frozenset()
+
+    def delay(self, *, now, sender, receiver, sender_correct, receiver_correct, rng):  # noqa: D102
+        del now, sender_correct, receiver_correct
+        if (sender, receiver) in self.targeted_links:
+            return None
+        if self.starvation_probability > 0 and rng.random() < self.starvation_probability:
+            return None
+        return self.minimum_delay + rng.random() * max(self.delta - self.minimum_delay, 0.0)
+
+
+class Network:
+    """Authenticated reliable point-to-point transport over a synchrony model.
+
+    Processes register themselves with :meth:`register`.  Sending is done
+    through :meth:`send`, which stamps the true sender identity on the
+    envelope (the authenticated channel assumption: a Byzantine process
+    cannot impersonate another process at the transport level, although it
+    can sign bogus *payload* claims, which the crypto layer handles).
+
+    Crashed processes can be marked with :meth:`crash`; messages to or from
+    a crashed process are dropped, matching the standard "a crashed process
+    stops executing any step" semantics used by the impossibility proof.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        model: SynchronyModel,
+        *,
+        trace: SimulationTrace | None = None,
+        seed: int = 0,
+        faulty: frozenset[ProcessId] = frozenset(),
+    ) -> None:
+        self.simulator = simulator
+        self.model = model
+        self.trace = trace if trace is not None else SimulationTrace()
+        self.rng = random.Random(seed)
+        self.faulty = frozenset(faulty)
+        self._processes: dict[ProcessId, "Process"] = {}
+        self._crashed: set[ProcessId] = set()
+        self._delay_overrides: list[Callable[[Envelope], float | None]] = []
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, process: "Process") -> None:
+        """Register a process so it can receive messages."""
+        if process.process_id in self._processes:
+            raise ValueError(f"process {process.process_id!r} already registered")
+        self._processes[process.process_id] = process
+
+    def process(self, process_id: ProcessId) -> "Process":
+        """Return the registered process object for ``process_id``."""
+        return self._processes[process_id]
+
+    @property
+    def process_ids(self) -> frozenset[ProcessId]:
+        return frozenset(self._processes)
+
+    def is_correct(self, process_id: ProcessId) -> bool:
+        """A process is correct when it is neither Byzantine nor crashed."""
+        return process_id not in self.faulty and process_id not in self._crashed
+
+    def crash(self, process_id: ProcessId) -> None:
+        """Crash a process: it stops taking steps and its messages are dropped."""
+        self._crashed.add(process_id)
+
+    @property
+    def crashed(self) -> frozenset[ProcessId]:
+        return frozenset(self._crashed)
+
+    # ------------------------------------------------------------------
+    # adversarial scheduling hooks
+    # ------------------------------------------------------------------
+    def add_delay_override(self, override: Callable[[Envelope], float | None]) -> None:
+        """Install an adversarial per-message delay override.
+
+        The override receives the envelope and returns a delay (overriding
+        the synchrony model), ``None`` to fall through to the next override
+        or to the model.  Overrides only *increase* adversarial power for
+        messages involving faulty processes or pre-GST traffic; the
+        experiment harness uses them to build the indistinguishable
+        executions of Theorem 7.
+        """
+        self._delay_overrides.append(override)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def send(self, sender: ProcessId, receiver: ProcessId, payload: object) -> None:
+        """Send ``payload`` from ``sender`` to ``receiver`` over the channel."""
+        envelope = Envelope(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            sent_at=self.simulator.now,
+            kind=payload_kind(payload),
+        )
+        self.trace.on_send(envelope)
+
+        if sender in self._crashed:
+            self.trace.on_drop(envelope, "sender crashed")
+            return
+        if receiver not in self._processes:
+            self.trace.on_drop(envelope, "unknown receiver")
+            return
+
+        delay: float | None = None
+        overridden = False
+        for override in self._delay_overrides:
+            candidate = override(envelope)
+            if candidate is not None:
+                delay = candidate
+                overridden = True
+                break
+        if not overridden:
+            delay = self.model.delay(
+                now=self.simulator.now,
+                sender=sender,
+                receiver=receiver,
+                sender_correct=self.is_correct(sender),
+                receiver_correct=self.is_correct(receiver),
+                rng=self.rng,
+            )
+        if delay is None:
+            self.trace.on_drop(envelope, "withheld by scheduler")
+            return
+
+        def deliver() -> None:
+            if receiver in self._crashed:
+                self.trace.on_drop(envelope, "receiver crashed")
+                return
+            self.trace.on_deliver(envelope)
+            self._processes[receiver].receive(envelope)
+
+        self.simulator.schedule(delay, deliver, label=f"deliver {envelope.describe()}")
+
+    def broadcast(self, sender: ProcessId, receivers: frozenset[ProcessId], payload: object) -> None:
+        """Send ``payload`` from ``sender`` to every process in ``receivers``."""
+        for receiver in sorted(receivers, key=repr):
+            if receiver != sender:
+                self.send(sender, receiver, payload)

@@ -1,0 +1,123 @@
+"""Base class for simulated protocol processes.
+
+A :class:`Process` owns a process identifier, its participant detector, a
+reference to the network and the simulator, and a small runtime: message
+dispatch by payload type, periodic timers, and one-shot timers.  Protocol
+modules subclass it (or compose it) and register handlers with
+:meth:`on`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.graphs.knowledge_graph import ProcessId
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.messages import Envelope
+from repro.sim.network import Network
+
+
+class Process:
+    """A protocol process attached to a simulator and a network."""
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        participant_detector: Iterable[ProcessId],
+        simulator: Simulator,
+        network: Network,
+    ) -> None:
+        self.process_id = process_id
+        self.participant_detector = frozenset(participant_detector)
+        self.simulator = simulator
+        self.network = network
+        self._handlers: dict[type, Callable[[ProcessId, Any], None]] = {}
+        self._timers: list[EventHandle] = []
+        self._stopped = False
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the process (protocols override this to kick off tasks)."""
+
+    def stop(self) -> None:
+        """Stop taking steps (cancels every pending timer)."""
+        self._stopped = True
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.simulator.now
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, receiver: ProcessId, payload: Any) -> None:
+        """Send ``payload`` to ``receiver`` over the authenticated channel."""
+        if self._stopped:
+            return
+        self.network.send(self.process_id, receiver, payload)
+
+    def send_to_all(self, receivers: Iterable[ProcessId], payload: Any) -> None:
+        """Send ``payload`` to every process in ``receivers`` (excluding self)."""
+        for receiver in sorted(set(receivers), key=repr):
+            if receiver != self.process_id:
+                self.send(receiver, payload)
+
+    def on(self, payload_type: type, handler: Callable[[ProcessId, Any], None]) -> None:
+        """Register ``handler(sender, payload)`` for payloads of ``payload_type``."""
+        self._handlers[payload_type] = handler
+
+    def receive(self, envelope: Envelope) -> None:
+        """Entry point called by the network when a message is delivered."""
+        if self._stopped:
+            return
+        handler = self._handlers.get(type(envelope.payload))
+        if handler is None:
+            self.on_unhandled(envelope)
+            return
+        handler(envelope.sender, envelope.payload)
+
+    def on_unhandled(self, envelope: Envelope) -> None:
+        """Hook for payloads without a registered handler (default: ignore)."""
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def after(self, delay: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+        """Run ``callback`` once, ``delay`` time units from now."""
+        def guarded() -> None:
+            if not self._stopped:
+                callback()
+
+        handle = self.simulator.schedule(delay, guarded, label or f"{self.process_id!r} one-shot")
+        self._timers.append(handle)
+        return handle
+
+    def every(self, period: float, callback: Callable[[], None], label: str = "") -> None:
+        """Run ``callback`` every ``period`` time units until the process stops."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+
+        def tick() -> None:
+            if self._stopped:
+                return
+            callback()
+            handle = self.simulator.schedule(period, tick, label or f"{self.process_id!r} periodic")
+            self._timers.append(handle)
+
+        handle = self.simulator.schedule(period, tick, label or f"{self.process_id!r} periodic")
+        self._timers.append(handle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.process_id!r})"

@@ -1,0 +1,96 @@
+"""Tracing and statistics for simulation runs.
+
+The experiment harness reports, for every run, the message complexity
+(total messages, messages per payload type), the virtual time of every
+decision, and whether the consensus properties held.  The
+:class:`SimulationTrace` collects the raw material for those reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.knowledge_graph import ProcessId
+from repro.sim.messages import Envelope
+
+
+@dataclass
+class SimulationTrace:
+    """Accumulates network and protocol events during a run."""
+
+    record_messages: bool = False
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    sent_by_kind: Counter = field(default_factory=Counter)
+    sent_by_process: Counter = field(default_factory=Counter)
+    delivered_by_kind: Counter = field(default_factory=Counter)
+    decisions: dict[ProcessId, tuple[Any, float]] = field(default_factory=dict)
+    sink_returns: dict[ProcessId, tuple[frozenset[ProcessId], float]] = field(default_factory=dict)
+    events: list[tuple[float, str]] = field(default_factory=list)
+    message_log: list[Envelope] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # network hooks
+    # ------------------------------------------------------------------
+    def on_send(self, envelope: Envelope) -> None:
+        self.messages_sent += 1
+        self.sent_by_kind[envelope.kind] += 1
+        self.sent_by_process[envelope.sender] += 1
+        if self.record_messages:
+            self.message_log.append(envelope)
+
+    def on_deliver(self, envelope: Envelope) -> None:
+        self.messages_delivered += 1
+        self.delivered_by_kind[envelope.kind] += 1
+
+    def on_drop(self, envelope: Envelope, reason: str) -> None:
+        self.messages_dropped += 1
+        if self.record_messages:
+            self.events.append((0.0, f"drop ({reason}): {envelope.describe()}"))
+
+    # ------------------------------------------------------------------
+    # protocol hooks
+    # ------------------------------------------------------------------
+    def on_decision(self, process: ProcessId, value: Any, time: float) -> None:
+        """Record the first decision of ``process`` (Integrity is checked elsewhere)."""
+        if process not in self.decisions:
+            self.decisions[process] = (value, time)
+
+    def on_sink_identified(self, process: ProcessId, members: frozenset[ProcessId], time: float) -> None:
+        """Record the sink/core returned by ``process``."""
+        if process not in self.sink_returns:
+            self.sink_returns[process] = (members, time)
+
+    def note(self, time: float, message: str) -> None:
+        """Record a free-form protocol event."""
+        self.events.append((time, message))
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def decided_values(self) -> dict[ProcessId, Any]:
+        """Mapping process -> decided value."""
+        return {process: value for process, (value, _time) in self.decisions.items()}
+
+    def decision_times(self) -> dict[ProcessId, float]:
+        """Mapping process -> virtual time of its decision."""
+        return {process: time for process, (_value, time) in self.decisions.items()}
+
+    def latest_decision_time(self) -> float | None:
+        """The virtual time at which the last recorded decision happened."""
+        times = [time for _value, time in self.decisions.values()]
+        return max(times) if times else None
+
+    def summary(self) -> dict[str, Any]:
+        """A compact dictionary summary (used by benchmarks and examples)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "messages_by_kind": dict(self.sent_by_kind),
+            "decisions": {repr(k): v for k, (v, _t) in self.decisions.items()},
+            "latest_decision_time": self.latest_decision_time(),
+        }

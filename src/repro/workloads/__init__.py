@@ -1,0 +1,9 @@
+"""Workload builders: turn graph scenarios into runnable experiment configs."""
+
+from repro.workloads.builders import (
+    figure_run_config,
+    generated_run_config,
+    default_fault_spec,
+)
+
+__all__ = ["figure_run_config", "generated_run_config", "default_fault_spec"]

@@ -1,0 +1,98 @@
+"""Builders that turn graph scenarios into :class:`~repro.analysis.harness.RunConfig`.
+
+A scenario (a reconstructed paper figure or a generated random graph) fixes
+the knowledge connectivity graph, the fault assignment and the fault
+threshold; the builders below add the remaining run parameters: which
+protocol mode to use, how the faulty processes behave, the synchrony model
+and the proposals.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.adversary.spec import FaultSpec
+from repro.analysis.harness import RunConfig
+from repro.core.config import ProtocolConfig, ProtocolMode
+from repro.graphs.figures import FigureScenario
+from repro.graphs.generators import GeneratedScenario
+from repro.graphs.knowledge_graph import ProcessId
+from repro.sim.network import PartialSynchronyModel, SynchronyModel
+
+
+def default_fault_spec(behaviour: str, scenario_graph_processes: frozenset[ProcessId]) -> FaultSpec:
+    """Build a :class:`FaultSpec` for a named behaviour with sensible defaults."""
+    if behaviour == "silent":
+        return FaultSpec.silent()
+    if behaviour == "crash":
+        return FaultSpec.crash(at=25.0)
+    if behaviour == "lying_pd":
+        # Claim to know (almost) everyone: the classic over-claiming lie.
+        return FaultSpec.lying_pd(frozenset(scenario_graph_processes))
+    if behaviour == "wrong_value":
+        return FaultSpec.wrong_value()
+    if behaviour == "equivocating_leader":
+        return FaultSpec.equivocating_leader()
+    raise ValueError(f"no default for behaviour {behaviour!r}")
+
+
+def _protocol_for(mode: ProtocolMode, fault_threshold: int, **protocol_kwargs) -> ProtocolConfig:
+    if mode is ProtocolMode.BFT_CUP:
+        return ProtocolConfig.bft_cup(fault_threshold, **protocol_kwargs)
+    return ProtocolConfig.bft_cupft(**protocol_kwargs)
+
+
+def figure_run_config(
+    scenario: FigureScenario,
+    *,
+    mode: ProtocolMode = ProtocolMode.BFT_CUP,
+    behaviour: str = "silent",
+    proposals: dict[ProcessId, Any] | None = None,
+    synchrony: SynchronyModel | None = None,
+    seed: int = 0,
+    horizon: float = 5_000.0,
+    **protocol_kwargs,
+) -> RunConfig:
+    """Build a run configuration for a reconstructed paper figure."""
+    faulty = {
+        process: default_fault_spec(behaviour, scenario.graph.processes)
+        for process in scenario.faulty
+    }
+    protocol = _protocol_for(mode, scenario.fault_threshold, **protocol_kwargs)
+    return RunConfig(
+        graph=scenario.graph,
+        protocol=protocol,
+        faulty=faulty,
+        proposals=proposals or {},
+        synchrony=synchrony if synchrony is not None else PartialSynchronyModel(),
+        seed=seed,
+        horizon=horizon,
+    )
+
+
+def generated_run_config(
+    scenario: GeneratedScenario,
+    *,
+    mode: ProtocolMode = ProtocolMode.BFT_CUPFT,
+    behaviour: str = "silent",
+    proposals: dict[ProcessId, Any] | None = None,
+    synchrony: SynchronyModel | None = None,
+    seed: int = 0,
+    horizon: float = 5_000.0,
+    **protocol_kwargs,
+) -> RunConfig:
+    """Build a run configuration for a generated random scenario."""
+    faulty = {
+        process: default_fault_spec(behaviour, scenario.graph.processes)
+        for process in scenario.faulty
+    }
+    protocol = _protocol_for(mode, scenario.fault_threshold, **protocol_kwargs)
+    return RunConfig(
+        graph=scenario.graph,
+        protocol=protocol,
+        faulty=faulty,
+        proposals=proposals or {},
+        synchrony=synchrony if synchrony is not None else PartialSynchronyModel(),
+        seed=seed,
+        horizon=horizon,
+    )

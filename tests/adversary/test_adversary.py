@@ -1,0 +1,135 @@
+"""Tests for the fault specifications and faulty node behaviours."""
+
+import pytest
+
+from repro.adversary.spec import FaultSpec
+from repro.adversary.nodes import build_faulty_node
+from repro.analysis import run_consensus
+from repro.core import ProtocolMode
+from repro.core.config import ProtocolConfig
+from repro.core.messages import GetPds, SetPds
+from repro.crypto.signatures import KeyRegistry
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, SynchronousModel
+from repro.sim.process import Process
+from repro.sim.tracing import SimulationTrace
+from repro.workloads import figure_run_config
+
+
+class TestFaultSpec:
+    def test_unknown_behaviour_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(behaviour="teleport")
+
+    def test_constructors(self):
+        assert FaultSpec.silent().behaviour == "silent"
+        assert FaultSpec.crash(at=10.0).crash_time == 10.0
+        assert FaultSpec.lying_pd(frozenset({1, 2})).claimed_pd == {1, 2}
+        equivocating = FaultSpec.equivocating_pd(frozenset({1}), frozenset({2}))
+        assert equivocating.alternate_pd == {2}
+        assert FaultSpec.wrong_value("bad").poison_value == "bad"
+
+
+def build_world(figures, behaviour_spec):
+    scenario = figures["fig1b"]
+    simulator = Simulator()
+    trace = SimulationTrace()
+    network = Network(simulator, SynchronousModel(), trace=trace, seed=0, faulty=frozenset({4}))
+    registry = KeyRegistry(seed=0)
+    node = build_faulty_node(
+        behaviour_spec,
+        process_id=4,
+        participant_detector=scenario.graph.participant_detector(4),
+        simulator=simulator,
+        network=network,
+        registry=registry,
+        key=registry.generate(4),
+        config=ProtocolConfig.bft_cup(1),
+        trace=trace,
+    )
+    return scenario, simulator, network, registry, trace, node
+
+
+class TestFaultyNodeBehaviours:
+    def test_silent_node_never_sends(self, figures):
+        scenario, simulator, network, registry, trace, node = build_world(figures, FaultSpec.silent())
+        node.propose("x")
+        observer = Process(1, frozenset(), simulator, network)
+        network.send(1, 4, GetPds())
+        simulator.run()
+        assert trace.sent_by_process[4] == 0
+
+    def test_lying_pd_node_advertises_the_claim(self, figures):
+        spec = FaultSpec.lying_pd(frozenset({1, 2, 3, 5, 6, 7, 8}))
+        scenario, simulator, network, registry, trace, node = build_world(figures, spec)
+        assert node.discovery.records[4].message.pd == {1, 2, 3, 5, 6, 7, 8}
+        assert registry.verify(node.discovery.records[4])
+
+    def test_equivocating_pd_node_shows_different_records(self, figures):
+        spec = FaultSpec.equivocating_pd(frozenset({1, 2}), frozenset({3, 5}))
+        scenario, simulator, network, registry, trace, node = build_world(figures, spec)
+        low = node._set_pds_entries(1)     # repr("1") < repr("4")
+        high = node._set_pds_entries(7)    # repr("7") > repr("4")
+        pd_low = {entry.message.pd for entry in low if entry.message.owner == 4}
+        pd_high = {entry.message.pd for entry in high if entry.message.owner == 4}
+        assert pd_low == {frozenset({1, 2})}
+        assert pd_high == {frozenset({3, 5})}
+
+    def test_crash_node_stops_at_crash_time(self, figures):
+        spec = FaultSpec.crash(at=5.0)
+        scenario, simulator, network, registry, trace, node = build_world(figures, spec)
+        node.propose("x")
+        simulator.run(until=lambda: simulator.now > 10.0)
+        assert 4 in network.crashed
+        assert node.stopped
+
+    def test_wrong_value_node_poisons_replies(self, figures):
+        from repro.core.messages import DecidedValue, GetDecidedValue
+
+        spec = FaultSpec.wrong_value("poison")
+        scenario, simulator, network, registry, trace, node = build_world(figures, spec)
+        received = []
+        observer = Process(1, frozenset(), simulator, network)
+        observer.on(DecidedValue, lambda sender, message: received.append(message.value))
+        network.send(1, 4, GetDecidedValue())
+        simulator.run()
+        assert received == ["poison"]
+
+    def test_build_faulty_node_rejects_unknown_behaviour(self, figures):
+        scenario = figures["fig1b"]
+        spec = FaultSpec.silent()
+        object.__setattr__(spec, "behaviour", "weird")
+        simulator = Simulator()
+        network = Network(simulator, SynchronousModel(), seed=0)
+        registry = KeyRegistry(seed=0)
+        with pytest.raises(ValueError):
+            build_faulty_node(
+                spec,
+                process_id=4,
+                participant_detector=frozenset(),
+                simulator=simulator,
+                network=network,
+                registry=registry,
+                key=registry.generate(4),
+                config=ProtocolConfig.bft_cup(1),
+            )
+
+
+class TestAdversaryEndToEnd:
+    def test_equivocating_pd_does_not_break_consensus(self, figures):
+        scenario = figures["fig1b"]
+        config = figure_run_config(scenario, mode=ProtocolMode.BFT_CUP, behaviour="silent")
+        config.faulty = {
+            4: FaultSpec.equivocating_pd(frozenset({1, 2, 3}), frozenset({1, 2, 3, 5, 6}))
+        }
+        result = run_consensus(config)
+        assert result.agreement and result.validity and result.termination
+
+    def test_byzantine_cannot_forge_a_correct_process_pd(self, figures):
+        """Even a lying process can only lie about itself (signature layer)."""
+        scenario = figures["fig1b"]
+        config = figure_run_config(scenario, mode=ProtocolMode.BFT_CUP, behaviour="lying_pd")
+        result = run_consensus(config)
+        assert result.consensus_solved
+        # The identified sink still matches the oracle's expectation.
+        assert set(result.identified.values()) == {frozenset({1, 2, 3, 4})}

@@ -1,0 +1,155 @@
+"""Tests for the property checkers, the harness, tables, Table I and Theorem 7 experiments."""
+
+import pytest
+
+from repro.analysis.harness import RunConfig, run_consensus
+from repro.analysis.impossibility import describe, run_impossibility_experiment
+from repro.analysis.properties import check_properties
+from repro.analysis.table1 import (
+    COMMUNICATION_MODELS,
+    KNOWLEDGE_MODELS,
+    build_table,
+    format_table,
+    run_cell,
+)
+from repro.analysis.tables import render_table
+from repro.core.config import ProtocolConfig
+from repro.graphs.figures import figure_1b
+from repro.adversary.spec import FaultSpec
+
+
+class TestPropertyChecker:
+    def test_all_properties_hold(self):
+        properties = check_properties(
+            correct=frozenset({1, 2}),
+            proposals={1: "v", 2: "v"},
+            decisions={1: "v", 2: "v"},
+            identified={1: frozenset({1, 2}), 2: frozenset({1, 2})},
+        )
+        assert properties.consensus_solved
+        assert properties.identification_agreement
+
+    def test_agreement_violation(self):
+        properties = check_properties(
+            correct=frozenset({1, 2}),
+            proposals={1: "v", 2: "u"},
+            decisions={1: "v", 2: "u"},
+            identified={},
+        )
+        assert not properties.agreement
+        assert properties.termination
+        assert len(properties.distinct_decided_values) == 2
+
+    def test_validity_violation(self):
+        properties = check_properties(
+            correct=frozenset({1}),
+            proposals={1: "v"},
+            decisions={1: "not-proposed"},
+            identified={},
+        )
+        assert not properties.validity
+
+    def test_termination_requires_every_correct_process(self):
+        properties = check_properties(
+            correct=frozenset({1, 2}),
+            proposals={1: "v", 2: "v"},
+            decisions={1: "v"},
+            identified={},
+        )
+        assert not properties.termination
+
+    def test_faulty_decisions_are_ignored(self):
+        properties = check_properties(
+            correct=frozenset({1}),
+            proposals={1: "v", 2: "u"},
+            decisions={1: "v", 2: "weird"},
+            identified={2: frozenset({9})},
+        )
+        assert properties.agreement and properties.validity
+
+    def test_integrity_from_counts(self):
+        properties = check_properties(
+            correct=frozenset({1}),
+            proposals={1: "v"},
+            decisions={1: "v"},
+            identified={},
+            decision_counts={1: 2},
+        )
+        assert not properties.integrity
+
+
+class TestHarness:
+    def test_summary_and_latencies(self, figures):
+        scenario = figures["fig1b"]
+        config = RunConfig(
+            graph=scenario.graph,
+            protocol=ProtocolConfig.bft_cup(1),
+            faulty={4: FaultSpec.silent()},
+        )
+        result = run_consensus(config)
+        summary = result.summary()
+        assert summary["terminated"] and summary["agreement"]
+        assert summary["messages"] == result.messages_sent
+        assert result.latency() >= result.identification_latency() > 0
+
+    def test_default_proposals(self, figures):
+        config = RunConfig(graph=figures["fig1b"].graph, protocol=ProtocolConfig.bft_cup(1))
+        assert config.proposal_of(3) == "value-of-3"
+
+    def test_participants_restriction(self, figures):
+        scenario = figures["fig1b"]
+        config = RunConfig(
+            graph=scenario.graph,
+            protocol=ProtocolConfig.bft_cup(1),
+            faulty={4: FaultSpec.silent()},
+            participants=frozenset(scenario.graph.processes - {8}),
+            horizon=500.0,
+        )
+        result = run_consensus(config)
+        # Process 8 never proposed, so it never decides; the others do.
+        assert 8 not in result.decisions
+        assert set(result.decisions) == set(result.correct) - {8}
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbb"], [[1, True], [2.5, None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "yes" in text and "-" in text
+        assert all(line.startswith(("+", "|", "T")) for line in lines)
+
+    def test_table1_single_cells(self):
+        cell = run_cell("partially synchronous", "unknown n, known f", horizon=2_000.0)
+        assert cell.solved and cell.matches_paper
+        async_cell = run_cell("asynchronous", "known n, known f", horizon=800.0)
+        assert not async_cell.solved and async_cell.matches_paper
+
+    def test_table1_full_matrix(self):
+        cells = build_table(horizon=2_000.0)
+        assert len(cells) == len(COMMUNICATION_MODELS) * len(KNOWLEDGE_MODELS)
+        assert all(cell.matches_paper for cell in cells)
+        text = format_table(cells)
+        assert "asynchronous" in text and "✓" in text and "✗" in text
+
+    def test_unknown_cell_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            run_cell("carrier pigeon", "known n, known f")
+        with pytest.raises(ValueError):
+            run_cell("synchronous", "known everything")
+
+
+class TestImpossibilityExperiment:
+    def test_theorem_7_is_demonstrated(self):
+        outcome = run_impossibility_experiment()
+        assert outcome.a_decided_v
+        assert outcome.b_decided_u
+        assert outcome.ab_agreement_violated
+        assert outcome.demonstrates_theorem
+        text = describe(outcome)
+        assert "agreement violated: True" in text
+
+    def test_single_system_runs_terminate(self):
+        outcome = run_impossibility_experiment()
+        assert outcome.execution_a.termination
+        assert outcome.execution_b.termination

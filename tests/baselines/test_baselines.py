@@ -1,0 +1,88 @@
+"""Tests for the unauthenticated BFT-CUP baseline (reachable reliable broadcast)."""
+
+import pytest
+
+from repro.baselines.reachable_broadcast import DisjointPathTracker, FloodedRecord
+from repro.baselines.unauthenticated import (
+    run_authenticated_sink_discovery,
+    run_unauthenticated_sink_discovery,
+)
+from repro.graphs.figures import figure_1b
+from repro.graphs.generators import generate_bft_cup_graph
+
+
+class TestDisjointPathTracker:
+    def test_single_path(self):
+        tracker = DisjointPathTracker(receiver="r")
+        tracker.record(FloodedRecord(origin="s", content="pd", path=("s", "a")))
+        assert tracker.disjoint_path_count("s", "pd") == 1
+        assert not tracker.deliverable("s", "pd", fault_threshold=1)
+
+    def test_two_disjoint_paths(self):
+        tracker = DisjointPathTracker(receiver="r")
+        tracker.record(FloodedRecord(origin="s", content="pd", path=("s", "a")))
+        tracker.record(FloodedRecord(origin="s", content="pd", path=("s", "b")))
+        assert tracker.disjoint_path_count("s", "pd") == 2
+        assert tracker.deliverable("s", "pd", fault_threshold=1)
+
+    def test_shared_relay_is_not_disjoint(self):
+        tracker = DisjointPathTracker(receiver="r")
+        tracker.record(FloodedRecord(origin="s", content="pd", path=("s", "a", "b")))
+        tracker.record(FloodedRecord(origin="s", content="pd", path=("s", "a", "c")))
+        assert tracker.disjoint_path_count("s", "pd") == 1
+
+    def test_direct_delivery_counts(self):
+        tracker = DisjointPathTracker(receiver="r")
+        tracker.record(FloodedRecord(origin="s", content="pd", path=("s",)))
+        tracker.record(FloodedRecord(origin="s", content="pd", path=("s", "a")))
+        assert tracker.disjoint_path_count("s", "pd") == 2
+
+    def test_different_contents_tracked_separately(self):
+        tracker = DisjointPathTracker(receiver="r")
+        tracker.record(FloodedRecord(origin="s", content="honest", path=("s", "a")))
+        tracker.record(FloodedRecord(origin="s", content="altered", path=("s", "b")))
+        assert tracker.disjoint_path_count("s", "honest") == 1
+        assert tracker.disjoint_path_count("s", "altered") == 1
+        assert set(tracker.contents_from("s")) == {"honest", "altered"}
+
+    def test_duplicate_paths_deduplicated(self):
+        tracker = DisjointPathTracker(receiver="r")
+        for _ in range(3):
+            tracker.record(FloodedRecord(origin="s", content="pd", path=("s", "a")))
+        assert tracker.seen_paths("s", "pd") == 1
+
+    def test_unknown_content_is_zero(self):
+        tracker = DisjointPathTracker(receiver="r")
+        assert tracker.disjoint_path_count("s", "pd") == 0
+
+    def test_extended_path(self):
+        record = FloodedRecord(origin="s", content="pd", path=("s",))
+        assert record.extended("a").path == ("s", "a")
+
+
+class TestEndToEndBaseline:
+    def test_unauthenticated_discovery_identifies_the_sink(self):
+        scenario = figure_1b()
+        outcome = run_unauthenticated_sink_discovery(scenario.graph, 1, scenario.faulty, seed=1)
+        assert outcome.all_correct_identified
+        assert outcome.agreement_on_members
+        assert set(outcome.identified.values()) == {frozenset({1, 2, 3, 4})}
+
+    def test_authenticated_discovery_identifies_the_same_sink(self):
+        scenario = figure_1b()
+        outcome = run_authenticated_sink_discovery(scenario.graph, 1, scenario.faulty, seed=1)
+        assert outcome.all_correct_identified
+        assert set(outcome.identified.values()) == {frozenset({1, 2, 3, 4})}
+
+    def test_authenticated_protocol_uses_fewer_messages(self):
+        """The quantitative version of the Section III simplification claim."""
+        scenario = figure_1b()
+        auth = run_authenticated_sink_discovery(scenario.graph, 1, scenario.faulty, seed=2)
+        unauth = run_unauthenticated_sink_discovery(scenario.graph, 1, scenario.faulty, seed=2)
+        assert auth.messages_sent < unauth.messages_sent
+
+    def test_generated_graph_baseline(self):
+        scenario = generate_bft_cup_graph(f=1, non_sink_size=3, seed=6)
+        outcome = run_unauthenticated_sink_discovery(scenario.graph, 1, scenario.faulty, seed=0)
+        assert outcome.all_correct_identified
+        assert outcome.agreement_on_members

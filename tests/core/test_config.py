@@ -1,0 +1,37 @@
+"""Tests for the protocol configuration validation."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig, ProtocolMode, QuorumRule
+
+
+class TestProtocolConfig:
+    def test_bft_cup_requires_fault_threshold(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(mode=ProtocolMode.BFT_CUP, fault_threshold=None)
+
+    def test_bft_cupft_forbids_fault_threshold(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(mode=ProtocolMode.BFT_CUPFT, fault_threshold=1)
+
+    def test_negative_fault_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(mode=ProtocolMode.BFT_CUP, fault_threshold=-1)
+
+    def test_convenience_constructors(self):
+        cup = ProtocolConfig.bft_cup(2)
+        assert cup.mode is ProtocolMode.BFT_CUP
+        assert cup.fault_threshold == 2
+        cupft = ProtocolConfig.bft_cupft()
+        assert cupft.mode is ProtocolMode.BFT_CUPFT
+        assert cupft.fault_threshold is None
+
+    def test_quorum_rule_is_forwarded_to_pbft(self):
+        config = ProtocolConfig.bft_cup(1, quorum_rule=QuorumRule.CLASSIC)
+        assert config.pbft.quorum_rule == "classic"
+
+    def test_defaults(self):
+        config = ProtocolConfig.bft_cupft()
+        assert config.discovery_period > 0
+        assert config.query_period > 0
+        assert config.stop_discovery_after_identification

@@ -1,0 +1,129 @@
+"""Tests for the Discovery algorithm state machine (Algorithm 1)."""
+
+import pytest
+
+from repro.core.discovery import DiscoveryState
+from repro.core.messages import PdRecord
+from repro.crypto.signatures import KeyRegistry, SignedMessage
+from repro.graphs.figures import figure_1b
+
+
+def make_state(process_id, graph, registry, advertised=None):
+    return DiscoveryState(
+        process_id=process_id,
+        participant_detector=graph.participant_detector(process_id),
+        key=registry.generate(process_id),
+        registry=registry,
+        advertised_pd=advertised,
+    )
+
+
+@pytest.fixture
+def registry():
+    return KeyRegistry(seed=3)
+
+
+@pytest.fixture
+def graph():
+    return figure_1b().graph
+
+
+class TestInitialState:
+    def test_initial_sets_follow_algorithm_1(self, graph, registry):
+        state = make_state(1, graph, registry)
+        assert state.known == {1, 2, 3, 4}
+        assert state.received == {1}
+        assert set(state.records) == {1}
+        assert state.pd_of(1) == {2, 3, 4}
+
+    def test_own_record_is_signed_correctly(self, graph, registry):
+        state = make_state(1, graph, registry)
+        record = state.records[1]
+        assert registry.verify(record)
+        assert record.message == PdRecord(owner=1, pd=frozenset({2, 3, 4}))
+
+    def test_byzantine_advertised_pd(self, graph, registry):
+        state = make_state(4, graph, registry, advertised=frozenset({1, 2, 3}))
+        assert state.records[4].message.pd == {1, 2, 3}
+        # The real PD is still tracked separately.
+        assert state.participant_detector == graph.participant_detector(4)
+
+
+class TestAbsorb:
+    def test_absorbing_valid_records_grows_the_view(self, graph, registry):
+        state_1 = make_state(1, graph, registry)
+        state_3 = make_state(3, graph, registry)
+        changed = state_1.absorb(state_3.snapshot())
+        assert changed
+        assert 3 in state_1.received
+        assert state_1.pd_of(3) == graph.participant_detector(3)
+        assert state_1.version == 2
+
+    def test_absorb_is_idempotent(self, graph, registry):
+        state_1 = make_state(1, graph, registry)
+        state_3 = make_state(3, graph, registry)
+        state_1.absorb(state_3.snapshot())
+        version = state_1.version
+        assert not state_1.absorb(state_3.snapshot())
+        assert state_1.version == version
+
+    def test_new_processes_become_known(self, graph, registry):
+        state_7 = make_state(7, graph, registry)
+        state_5 = make_state(5, graph, registry)
+        state_7.absorb(state_5.snapshot())
+        # 5's PD = {1, 2}: process 7 learns about 1 and 2.
+        assert {1, 2} <= state_7.known
+
+    def test_forged_record_is_rejected(self, graph, registry):
+        state_1 = make_state(1, graph, registry)
+        mallory_key = registry.generate(4)
+        forged = mallory_key.sign(PdRecord(owner=2, pd=frozenset({4})))
+        assert not state_1.absorb(frozenset({forged}))
+        assert 2 not in state_1.received
+        assert state_1.rejected_records == 1
+
+    def test_record_with_wrong_signer_rejected(self, graph, registry):
+        state_1 = make_state(1, graph, registry)
+        key_2 = registry.generate(2)
+        valid_but_mislabelled = SignedMessage(
+            signer=4, message=PdRecord(owner=4, pd=frozenset({1})), tag=key_2.sign("x").tag
+        )
+        assert not state_1.absorb(frozenset({valid_but_mislabelled}))
+        assert state_1.rejected_records == 1
+
+    def test_non_record_payload_rejected(self, graph, registry):
+        state_1 = make_state(1, graph, registry)
+        key_2 = registry.generate(2)
+        assert not state_1.absorb(frozenset({key_2.sign("not a record")}))
+        assert state_1.rejected_records == 1
+
+    def test_byzantine_cannot_alter_correct_pd(self, graph, registry):
+        """The central property of the authenticated model (Section III)."""
+        state_1 = make_state(1, graph, registry)
+        byzantine_key = registry.generate(4)
+        fake = byzantine_key.sign(PdRecord(owner=3, pd=frozenset({4})))
+        state_1.absorb(frozenset({fake}))
+        assert state_1.pd_of(3) is None  # the fake record was not accepted
+
+    def test_view_reflects_received_pds(self, graph, registry):
+        state_1 = make_state(1, graph, registry)
+        for other in (2, 3):
+            state_1.absorb(make_state(other, graph, registry).snapshot())
+        view = state_1.view()
+        assert view.received == {1, 2, 3}
+        assert view.known >= {1, 2, 3, 4}
+        assert view.pds[2] == graph.participant_detector(2)
+
+
+class TestTransitiveDiscovery:
+    def test_gossip_reaches_distance_two(self, graph, registry):
+        # 7 knows 5, 5 knows 1 and 2: after absorbing 5's snapshot (which
+        # only contains 5's record), 7 knows 1 and 2 exist; once 5 has
+        # absorbed 1's record and re-shares, 7 receives 1's PD as well.
+        state_7 = make_state(7, graph, registry)
+        state_5 = make_state(5, graph, registry)
+        state_1 = make_state(1, graph, registry)
+        state_5.absorb(state_1.snapshot())
+        state_7.absorb(state_5.snapshot())
+        assert state_7.pd_of(1) == graph.participant_detector(1)
+        assert {1, 2, 3, 4} <= state_7.known

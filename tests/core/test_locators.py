@@ -1,0 +1,95 @@
+"""Tests for the Sink (Algorithm 2) and Core (Algorithm 4) locators."""
+
+import pytest
+
+from repro.core.discovery import DiscoveryState
+from repro.core.locators import CoreLocator, SinkLocator
+from repro.crypto.signatures import KeyRegistry
+from repro.graphs.figures import figure_1b, figure_2c, figure_4b
+
+
+def discovery_for(graph, process_id, registry, absorbed=()):
+    state = DiscoveryState(
+        process_id=process_id,
+        participant_detector=graph.participant_detector(process_id),
+        key=registry.generate(process_id),
+        registry=registry,
+    )
+    for other in absorbed:
+        other_state = DiscoveryState(
+            process_id=other,
+            participant_detector=graph.participant_detector(other),
+            key=registry.generate(other),
+            registry=registry,
+        )
+        state.absorb(other_state.snapshot())
+    return state
+
+
+class TestSinkLocator:
+    def test_locates_after_enough_pds(self):
+        registry = KeyRegistry(seed=0)
+        graph = figure_1b().graph
+        state = discovery_for(graph, 1, registry, absorbed=[2, 3])
+        locator = SinkLocator(fault_threshold=1)
+        witness = locator.locate(state)
+        assert witness is not None
+        assert locator.members() == {1, 2, 3, 4}
+        assert locator.estimated_fault_threshold() == 1
+
+    def test_does_not_locate_too_early(self):
+        registry = KeyRegistry(seed=0)
+        graph = figure_1b().graph
+        state = discovery_for(graph, 1, registry, absorbed=[2])
+        locator = SinkLocator(fault_threshold=1)
+        assert locator.locate(state) is None
+        assert locator.members() is None
+
+    def test_caches_by_discovery_version(self):
+        registry = KeyRegistry(seed=0)
+        graph = figure_1b().graph
+        state = discovery_for(graph, 1, registry, absorbed=[2])
+        locator = SinkLocator(fault_threshold=1)
+        locator.locate(state)
+        locator.locate(state)
+        assert locator.attempts == 1  # the second call hit the version cache
+
+    def test_result_is_cached_after_success(self):
+        registry = KeyRegistry(seed=0)
+        graph = figure_1b().graph
+        state = discovery_for(graph, 1, registry, absorbed=[2, 3])
+        locator = SinkLocator(fault_threshold=1)
+        first = locator.locate(state)
+        second = locator.locate(state)
+        assert first is second
+
+
+class TestCoreLocator:
+    def test_locates_core_without_fault_threshold(self):
+        registry = KeyRegistry(seed=0)
+        graph = figure_4b().graph
+        state = discovery_for(graph, 1, registry, absorbed=[2, 3])
+        locator = CoreLocator()
+        witness = locator.locate(state)
+        assert witness is not None
+        assert locator.members() == {1, 2, 3, 4}
+        assert locator.estimated_fault_threshold() == 1
+
+    def test_old_sink_group_never_identifies_a_core(self):
+        registry = KeyRegistry(seed=0)
+        graph = figure_4b().graph
+        state = discovery_for(graph, 8, registry, absorbed=[5, 6, 7])
+        locator = CoreLocator()
+        assert locator.locate(state) is None
+
+    def test_ambiguous_graph_allows_split_identification(self):
+        # On the Fig. 2c graph the two groups identify different "cores":
+        # this is the behaviour the impossibility proof exploits.
+        registry = KeyRegistry(seed=0)
+        graph = figure_2c().graph
+        state_a = discovery_for(graph, 1, registry, absorbed=[2, 3, 4])
+        state_b = discovery_for(graph, 8, registry, absorbed=[5, 6, 7])
+        core_a = CoreLocator().locate(state_a)
+        core_b = CoreLocator().locate(state_b)
+        assert core_a is not None and core_b is not None
+        assert core_a.members != core_b.members

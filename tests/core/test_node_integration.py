@@ -1,0 +1,159 @@
+"""End-to-end protocol runs on the paper's figures (integration tests).
+
+Each test simulates a full execution -- Discovery, Sink/Core location, inner
+consensus, decided-value dissemination -- and asserts the consensus
+properties plus the identity of the returned sink/core.
+"""
+
+import pytest
+
+from repro.analysis import run_consensus
+from repro.core import ProtocolMode
+from repro.graphs.oracle import StaticOracle
+from repro.workloads import figure_run_config
+
+BEHAVIOURS = ["silent", "crash", "lying_pd", "wrong_value", "equivocating_leader"]
+
+
+class TestBftCupOnFig1b:
+    @pytest.mark.parametrize("behaviour", BEHAVIOURS)
+    def test_consensus_solved_under_every_behaviour(self, figures, behaviour):
+        config = figure_run_config(
+            figures["fig1b"], mode=ProtocolMode.BFT_CUP, behaviour=behaviour
+        )
+        result = run_consensus(config)
+        assert result.consensus_solved, result.summary()
+
+    def test_every_correct_process_returns_the_expected_sink(self, figures):
+        scenario = figures["fig1b"]
+        oracle = StaticOracle(scenario.graph, scenario.faulty)
+        result = run_consensus(
+            figure_run_config(scenario, mode=ProtocolMode.BFT_CUP, behaviour="silent")
+        )
+        assert set(result.identified) == set(result.correct)
+        assert set(result.identified.values()) == {oracle.expected_sink}
+
+    def test_decided_value_was_proposed_by_a_sink_member(self, figures):
+        scenario = figures["fig1b"]
+        proposals = {pid: f"v{pid}" for pid in scenario.graph.processes}
+        result = run_consensus(
+            figure_run_config(
+                scenario, mode=ProtocolMode.BFT_CUP, behaviour="silent", proposals=proposals
+            )
+        )
+        decided = set(result.decisions.values())
+        assert len(decided) == 1
+        assert decided <= {f"v{pid}" for pid in (1, 2, 3, 4)}
+
+    def test_non_sink_members_decide_after_sink_members(self, figures):
+        scenario = figures["fig1b"]
+        result = run_consensus(
+            figure_run_config(scenario, mode=ProtocolMode.BFT_CUP, behaviour="silent")
+        )
+        sink_times = [result.decision_times[p] for p in (1, 2, 3)]
+        non_sink_times = [result.decision_times[p] for p in (5, 6, 7, 8)]
+        assert min(non_sink_times) >= min(sink_times)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_different_schedules(self, figures, seed):
+        config = figure_run_config(
+            figures["fig1b"], mode=ProtocolMode.BFT_CUP, behaviour="silent", seed=seed
+        )
+        result = run_consensus(config)
+        assert result.consensus_solved
+
+
+class TestBftCupftOnFig4:
+    @pytest.mark.parametrize("name", ["fig4a", "fig4b"])
+    @pytest.mark.parametrize("behaviour", BEHAVIOURS)
+    def test_consensus_without_fault_threshold(self, figures, name, behaviour):
+        config = figure_run_config(
+            figures[name], mode=ProtocolMode.BFT_CUPFT, behaviour=behaviour
+        )
+        result = run_consensus(config)
+        assert result.consensus_solved, (name, behaviour, result.summary())
+
+    @pytest.mark.parametrize("name", ["fig4a", "fig4b"])
+    def test_core_identification_agreement(self, figures, name):
+        scenario = figures[name]
+        oracle = StaticOracle(scenario.graph, scenario.faulty)
+        result = run_consensus(
+            figure_run_config(scenario, mode=ProtocolMode.BFT_CUPFT, behaviour="silent")
+        )
+        assert set(result.identified.values()) == {oracle.expected_core}
+
+    def test_fault_threshold_estimate_matches_core_connectivity(self, figures):
+        scenario = figures["fig4b"]
+        result = run_consensus(
+            figure_run_config(scenario, mode=ProtocolMode.BFT_CUPFT, behaviour="silent")
+        )
+        estimates = {e for e in result.estimated_fault_thresholds.values() if e is not None}
+        assert estimates == {1}
+
+    def test_fig3b_with_two_byzantine_processes(self, figures):
+        result = run_consensus(
+            figure_run_config(figures["fig3b"], mode=ProtocolMode.BFT_CUPFT, behaviour="silent")
+        )
+        assert result.consensus_solved
+        assert set(result.identified.values()) == {frozenset(range(1, 8))}
+
+
+class TestNegativeScenarios:
+    def test_fig1a_silent_byzantine_splits_the_system(self, figures):
+        """Fig. 1a: the graph violates the requirements, and the protocol splits."""
+        result = run_consensus(
+            figure_run_config(figures["fig1a"], mode=ProtocolMode.BFT_CUP, behaviour="silent")
+        )
+        assert not result.properties.identification_agreement
+        assert not result.agreement
+
+    def test_fig2c_without_fault_threshold_violates_agreement(self, figures):
+        """Theorem 7's ambiguity on the full Fig. 2c graph under a partition-like schedule."""
+        from repro.analysis.impossibility import run_impossibility_experiment
+
+        outcome = run_impossibility_experiment()
+        assert outcome.demonstrates_theorem
+
+    def test_bft_cup_mode_with_known_f_still_splits_on_fig1a(self, figures):
+        # Knowing f does not help when the knowledge connectivity graph does
+        # not satisfy the Theorem 1 requirements.
+        result = run_consensus(
+            figure_run_config(figures["fig1a"], mode=ProtocolMode.BFT_CUP, behaviour="silent", seed=5)
+        )
+        assert not result.agreement
+
+
+class TestProtocolDetails:
+    def test_integrity_every_process_decides_once(self, figures):
+        result = run_consensus(
+            figure_run_config(figures["fig1b"], mode=ProtocolMode.BFT_CUP, behaviour="silent")
+        )
+        assert result.properties.integrity
+        # the trace records exactly one decision per correct process
+        assert set(result.trace.decisions) >= set(result.correct)
+
+    def test_propose_twice_raises(self, figures):
+        from repro.analysis.harness import RunConfig, build_nodes
+        from repro.crypto.signatures import KeyRegistry
+        from repro.sim.engine import Simulator
+        from repro.sim.network import Network, PartialSynchronyModel
+        from repro.sim.tracing import SimulationTrace
+        from repro.core.config import ProtocolConfig
+
+        scenario = figures["fig1b"]
+        config = RunConfig(graph=scenario.graph, protocol=ProtocolConfig.bft_cup(1))
+        simulator = Simulator()
+        trace = SimulationTrace()
+        network = Network(simulator, PartialSynchronyModel(), trace=trace, seed=0)
+        nodes = build_nodes(config, simulator, network, KeyRegistry(seed=0), trace)
+        nodes[1].propose("v")
+        with pytest.raises(RuntimeError):
+            nodes[1].propose("v")
+
+    def test_message_counts_are_recorded(self, figures):
+        result = run_consensus(
+            figure_run_config(figures["fig1b"], mode=ProtocolMode.BFT_CUP, behaviour="silent")
+        )
+        assert result.messages_sent > 0
+        assert result.trace.sent_by_kind["GetPds"] > 0
+        assert result.trace.sent_by_kind["SetPds"] > 0

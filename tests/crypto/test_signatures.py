@@ -1,0 +1,85 @@
+"""Tests for the simulated signature scheme."""
+
+import pytest
+
+from repro.core.messages import PdRecord
+from repro.crypto.signatures import KeyRegistry, SignatureError, SignedMessage
+
+
+class TestSigning:
+    def test_sign_and_verify(self):
+        registry = KeyRegistry(seed=1)
+        key = registry.generate("alice")
+        signed = key.sign("hello")
+        assert signed.signer == "alice"
+        assert registry.verify(signed)
+
+    def test_forged_signer_rejected(self):
+        registry = KeyRegistry(seed=1)
+        registry.generate("alice")
+        mallory = registry.generate("mallory")
+        forged = SignedMessage(signer="alice", message="hello", tag=mallory.sign("hello").tag)
+        assert not registry.verify(forged)
+
+    def test_tampered_message_rejected(self):
+        registry = KeyRegistry(seed=1)
+        key = registry.generate("alice")
+        signed = key.sign("hello")
+        tampered = SignedMessage(signer="alice", message="bye", tag=signed.tag)
+        assert not registry.verify(tampered)
+
+    def test_unknown_signer_rejected(self):
+        registry = KeyRegistry(seed=1)
+        signed = SignedMessage(signer="ghost", message="hello", tag="00")
+        assert not registry.verify(signed)
+
+    def test_require_valid_raises(self):
+        registry = KeyRegistry(seed=1)
+        registry.generate("alice")
+        with pytest.raises(SignatureError):
+            registry.require_valid(SignedMessage(signer="alice", message="x", tag="bad"))
+
+    def test_deterministic_across_registries_with_same_seed(self):
+        first = KeyRegistry(seed=7).generate(1).sign((1, 2, 3))
+        second = KeyRegistry(seed=7).generate(1).sign((1, 2, 3))
+        assert first == second
+
+    def test_different_seeds_produce_different_tags(self):
+        first = KeyRegistry(seed=1).generate(1).sign("m")
+        second = KeyRegistry(seed=2).generate(1).sign("m")
+        assert first.tag != second.tag
+
+    def test_generate_is_idempotent(self):
+        registry = KeyRegistry(seed=1)
+        assert registry.generate(1).sign("m") == registry.generate(1).sign("m")
+        assert registry.knows(1)
+        assert not registry.knows(2)
+
+
+class TestCanonicalEncoding:
+    def test_pd_record_signing_is_order_insensitive(self):
+        registry = KeyRegistry(seed=1)
+        key = registry.generate(1)
+        first = key.sign(PdRecord(owner=1, pd=frozenset({2, 3, 4})))
+        second = key.sign(PdRecord(owner=1, pd=frozenset({4, 3, 2})))
+        assert first.tag == second.tag
+
+    def test_different_pd_records_have_different_tags(self):
+        registry = KeyRegistry(seed=1)
+        key = registry.generate(1)
+        first = key.sign(PdRecord(owner=1, pd=frozenset({2, 3})))
+        second = key.sign(PdRecord(owner=1, pd=frozenset({2, 5})))
+        assert first.tag != second.tag
+
+    def test_containers_and_scalars(self):
+        registry = KeyRegistry(seed=1)
+        key = registry.generate(1)
+        values = ["text", 42, 3.14, None, True, (1, 2), frozenset({1, 2}), {"a": 1}]
+        tags = {value if isinstance(value, (str, int, float)) else repr(value): key.sign(value).tag for value in values}
+        assert len(set(tags.values())) == len(values)
+
+    def test_signed_messages_are_hashable(self):
+        registry = KeyRegistry(seed=1)
+        key = registry.generate(1)
+        signed = key.sign(PdRecord(owner=1, pd=frozenset({2})))
+        assert {signed, signed} == {signed}

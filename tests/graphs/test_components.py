@@ -1,0 +1,125 @@
+"""Tests for strongly connected components, condensation and sink components."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.components import (
+    condensation,
+    has_single_sink,
+    is_strongly_connected,
+    non_sink_members,
+    sink_components,
+    sink_members,
+    strongly_connected_components,
+)
+from repro.graphs.generators import generate_random_digraph
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+class TestSccOnHandGraphs:
+    def test_triangle_is_single_scc(self, triangle):
+        components = strongly_connected_components(triangle)
+        assert len(components) == 1
+        assert components[0] == {1, 2, 3}
+
+    def test_chain_has_singleton_sccs(self, chain):
+        components = strongly_connected_components(chain)
+        assert len(components) == 4
+        assert all(len(component) == 1 for component in components)
+
+    def test_mixed_graph(self):
+        graph = KnowledgeGraph({1: [2], 2: [1, 3], 3: [4], 4: [3]})
+        components = {frozenset(c) for c in strongly_connected_components(graph)}
+        assert components == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_empty_graph(self):
+        assert strongly_connected_components(KnowledgeGraph()) == []
+
+    def test_isolated_nodes(self):
+        graph = KnowledgeGraph.from_edges([], nodes=[1, 2, 3])
+        assert len(strongly_connected_components(graph)) == 3
+
+
+class TestCondensationAndSinks:
+    def test_chain_condensation(self, chain):
+        components, dag = condensation(chain)
+        sinks = [components[i] for i, succ in dag.items() if not succ]
+        assert sinks == [frozenset({4})]
+
+    def test_two_sinks(self, two_sinks):
+        assert len(sink_components(two_sinks)) == 2
+        assert not has_single_sink(two_sinks)
+        assert sink_members(two_sinks) == {1, 2, 3, 4}
+
+    def test_single_sink(self, chain):
+        assert has_single_sink(chain)
+        assert sink_members(chain) == {4}
+        assert non_sink_members(chain) == {1, 2, 3}
+
+    def test_figure_1b_sink(self, figures):
+        scenario = figures["fig1b"]
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        assert sink_members(safe) == {1, 2, 3}
+
+    def test_figure_1a_safe_graph_has_two_sinks(self, figures):
+        scenario = figures["fig1a"]
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        assert len(sink_components(safe)) == 2
+
+    def test_strongly_connected_predicate(self, triangle, chain):
+        assert is_strongly_connected(triangle)
+        assert not is_strongly_connected(chain)
+        assert is_strongly_connected(chain, nodes={2})
+
+    def test_condensation_edges_are_acyclic(self):
+        graph = KnowledgeGraph({1: [2], 2: [1, 3], 3: [4], 4: [3, 5], 5: []})
+        components, dag = condensation(graph)
+        # The condensation of any digraph is a DAG.
+        nx_dag = nx.DiGraph()
+        nx_dag.add_nodes_from(range(len(components)))
+        for source, targets in dag.items():
+            nx_dag.add_edges_from((source, target) for target in targets)
+        assert nx.is_directed_acyclic_graph(nx_dag)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_scc_matches_networkx(self, seed):
+        graph = generate_random_digraph(size=9, edge_probability=0.25, seed=seed)
+        ours = {frozenset(c) for c in strongly_connected_components(graph)}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(graph.to_networkx())}
+        assert ours == theirs
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(1, 6), st.integers(1, 6)), max_size=25
+        )
+    )
+    def test_scc_matches_networkx_property(self, edges):
+        graph = KnowledgeGraph.from_edges(
+            [(a, b) for a, b in edges if a != b], nodes=range(1, 7)
+        )
+        ours = {frozenset(c) for c in strongly_connected_components(graph)}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(graph.to_networkx())}
+        assert ours == theirs
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(1, 6), st.integers(1, 6)), max_size=25
+        )
+    )
+    def test_sccs_partition_the_vertices(self, edges):
+        graph = KnowledgeGraph.from_edges(
+            [(a, b) for a, b in edges if a != b], nodes=range(1, 7)
+        )
+        components = strongly_connected_components(graph)
+        union = set()
+        total = 0
+        for component in components:
+            union |= component
+            total += len(component)
+        assert union == set(graph.processes)
+        assert total == len(graph)

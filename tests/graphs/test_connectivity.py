@@ -1,0 +1,154 @@
+"""Tests for node-disjoint paths and vertex (strong) connectivity."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.connectivity import (
+    is_k_strongly_connected,
+    node_disjoint_path_count,
+    node_disjoint_paths_between_sets,
+    vertex_connectivity,
+)
+from repro.graphs.generators import generate_random_digraph
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+def complete_graph(size: int) -> KnowledgeGraph:
+    return KnowledgeGraph({i: [j for j in range(1, size + 1) if j != i] for i in range(1, size + 1)})
+
+
+class TestNodeDisjointPaths:
+    def test_direct_edge_counts_as_path(self):
+        graph = KnowledgeGraph({1: [2], 2: []})
+        assert node_disjoint_path_count(graph, 1, 2) == 1
+
+    def test_no_path(self):
+        graph = KnowledgeGraph({1: [], 2: [1]})
+        assert node_disjoint_path_count(graph, 1, 2) == 0
+
+    def test_two_disjoint_paths_through_intermediates(self):
+        graph = KnowledgeGraph({1: [2, 3], 2: [4], 3: [4], 4: []})
+        assert node_disjoint_path_count(graph, 1, 4) == 2
+
+    def test_shared_intermediate_limits_paths(self):
+        graph = KnowledgeGraph({1: [2, 3], 2: [4], 3: [4], 4: [5], 5: []})
+        assert node_disjoint_path_count(graph, 1, 5) == 1
+
+    def test_complete_graph_paths(self):
+        graph = complete_graph(5)
+        assert node_disjoint_path_count(graph, 1, 2) == 4
+
+    def test_cutoff_short_circuits(self):
+        graph = complete_graph(6)
+        assert node_disjoint_path_count(graph, 1, 2, cutoff=2) == 2
+
+    def test_same_node_raises(self):
+        graph = complete_graph(3)
+        with pytest.raises(ValueError):
+            node_disjoint_path_count(graph, 1, 1)
+
+    def test_unknown_node_raises(self):
+        graph = complete_graph(3)
+        with pytest.raises(KeyError):
+            node_disjoint_path_count(graph, 1, 9)
+
+    def test_paths_to_set_minimum(self):
+        graph = KnowledgeGraph({1: [2, 3], 2: [3, 4], 3: [2, 4], 4: [2, 3]})
+        assert node_disjoint_paths_between_sets(graph, 1, {2, 3, 4}) == 2
+
+
+class TestKStrongConnectivity:
+    def test_triangle_is_2_connected(self, triangle):
+        assert is_k_strongly_connected(triangle, 2)
+        assert not is_k_strongly_connected(triangle, 3)
+
+    def test_chain_is_not_strongly_connected(self, chain):
+        assert not is_k_strongly_connected(chain, 1)
+
+    def test_k_zero_is_trivial(self, chain):
+        assert is_k_strongly_connected(chain, 0)
+
+    def test_single_node_is_vacuously_connected(self):
+        graph = KnowledgeGraph.from_edges([], nodes=[1])
+        assert is_k_strongly_connected(graph, 5)
+
+    def test_subset_argument(self, figures):
+        graph = figures["fig1b"].graph
+        assert is_k_strongly_connected(graph, 2, nodes={1, 2, 3})
+        assert not is_k_strongly_connected(graph, 2, nodes={5, 6, 7})
+
+    def test_degree_shortcut_rejects_quickly(self):
+        graph = KnowledgeGraph({1: [2], 2: [1, 3], 3: [2]})
+        assert not is_k_strongly_connected(graph, 2)
+
+
+class TestVertexConnectivity:
+    def test_complete_graphs(self):
+        for size in (2, 3, 4, 5):
+            assert vertex_connectivity(complete_graph(size)) == size - 1
+
+    def test_cycle_has_connectivity_one(self):
+        graph = KnowledgeGraph({1: [2], 2: [3], 3: [4], 4: [1]})
+        assert vertex_connectivity(graph) == 1
+
+    def test_disconnected_graph_is_zero(self, two_sinks):
+        assert vertex_connectivity(two_sinks) == 0
+
+    def test_single_node_is_zero(self):
+        assert vertex_connectivity(KnowledgeGraph.from_edges([], nodes=[1])) == 0
+
+    def test_circulant_connectivity(self):
+        # Each node points to the next 2 nodes around a ring of 6: 2-strongly connected.
+        nodes = list(range(6))
+        graph = KnowledgeGraph({i: [(i + 1) % 6, (i + 2) % 6] for i in nodes})
+        assert vertex_connectivity(graph) == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        # The paper defines strong connectivity as the minimum, over ordered
+        # pairs, of the number of node-disjoint paths; networkx's global
+        # node_connectivity uses a different convention for digraphs that are
+        # not strongly connected, so compare against the pairwise minimum.
+        from itertools import permutations
+
+        graph = generate_random_digraph(size=7, edge_probability=0.4, seed=seed)
+        nx_graph = graph.to_networkx()
+        expected = min(
+            nx.connectivity.local_node_connectivity(nx_graph, source, target)
+            for source, target in permutations(graph.processes, 2)
+        )
+        assert vertex_connectivity(graph) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        edges=st.lists(st.tuples(st.integers(1, 6), st.integers(1, 6)), max_size=30),
+        source=st.integers(1, 6),
+        target=st.integers(1, 6),
+    )
+    def test_pairwise_paths_match_networkx(self, edges, source, target):
+        if source == target:
+            return
+        graph = KnowledgeGraph.from_edges(
+            [(a, b) for a, b in edges if a != b], nodes=range(1, 7)
+        )
+        nx_graph = graph.to_networkx()
+        if graph.has_edge(source, target):
+            # networkx's minimum_node_cut/connectivity handles adjacent pairs
+            # differently; rely on max-flow based count from networkx too.
+            expected = nx.connectivity.local_node_connectivity(nx_graph, source, target)
+        else:
+            expected = nx.connectivity.local_node_connectivity(nx_graph, source, target)
+        assert node_disjoint_path_count(graph, source, target) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(edges=st.lists(st.tuples(st.integers(1, 6), st.integers(1, 6)), max_size=30))
+    def test_connectivity_is_bounded_by_minimum_degree(self, edges):
+        graph = KnowledgeGraph.from_edges(
+            [(a, b) for a, b in edges if a != b], nodes=range(1, 7)
+        )
+        kappa = vertex_connectivity(graph)
+        min_degree = min(
+            min(graph.out_degree(node), graph.in_degree(node)) for node in graph
+        )
+        assert kappa <= min_degree or len(graph) <= 1

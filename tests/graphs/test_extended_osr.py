@@ -1,0 +1,82 @@
+"""Tests for the extended k-OSR check (Definition 2) and core finding."""
+
+import pytest
+
+from repro.graphs.extended_osr import (
+    enumerate_sinks,
+    extended_osr_report,
+    find_core,
+    is_extended_k_osr,
+)
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+class TestFindCore:
+    def test_fig4b_safe_graph(self, figures):
+        scenario = figures["fig4b"]
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        core = find_core(safe)
+        assert core is not None
+        assert core.members == {1, 2, 3}
+        assert core.connectivity == 2
+
+    def test_fig2c_has_no_core(self, figures):
+        assert find_core(figures["fig2c"].graph) is None
+
+    def test_fig4a_safe_graph(self, figures):
+        scenario = figures["fig4a"]
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        core = find_core(safe)
+        assert core is not None
+        assert core.members == {1, 2, 3}
+
+    def test_empty_graph_has_no_core(self):
+        assert find_core(KnowledgeGraph()) is None
+
+    def test_complete_graph_core_is_everything(self):
+        graph = KnowledgeGraph({i: [j for j in range(1, 6) if j != i] for i in range(1, 6)})
+        core = find_core(graph)
+        assert core is not None
+        assert core.members == {1, 2, 3, 4, 5}
+        assert core.connectivity == 3  # capped by |S| >= 2f+1
+
+
+class TestExtendedOsr:
+    def test_fig4_figures_are_extended_2_osr(self, figures):
+        for name in ("fig4a", "fig4b"):
+            scenario = figures[name]
+            safe = scenario.graph.safe_subgraph(scenario.faulty)
+            assert is_extended_k_osr(safe, 2), name
+
+    def test_fig2c_is_not_extended_1_osr(self, figures):
+        report = extended_osr_report(figures["fig2c"].graph, 1)
+        assert not report.satisfied
+        assert any("C1" in reason for reason in report.failures)
+        assert len(report.competing_sinks) >= 1
+
+    def test_report_details(self, figures):
+        scenario = figures["fig4b"]
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        report = extended_osr_report(safe, 2)
+        assert report.satisfied
+        assert report.core == {1, 2, 3}
+        assert report.core_connectivity == 2
+        assert report.osr_satisfied
+        assert report.min_paths_to_core >= 2
+
+    def test_graph_without_sinks(self):
+        report = extended_osr_report(KnowledgeGraph(), 1)
+        assert not report.satisfied
+
+    def test_not_extended_when_c2_fails(self):
+        # Core = triangle {1,2,3}; node 4 has only one path into it.
+        graph = KnowledgeGraph({1: [2, 3], 2: [1, 3], 3: [1, 2], 4: [1]})
+        report = extended_osr_report(graph, 2)
+        assert not report.satisfied
+        assert any("C2" in reason or "k-OSR" in reason for reason in report.failures)
+
+    def test_enumerate_sinks_lists_members(self, figures):
+        witnesses = enumerate_sinks(figures["fig2c"].graph)
+        members = {witness.members for witness in witnesses}
+        assert frozenset({1, 2, 3, 4}) in members
+        assert frozenset({5, 6, 7, 8}) in members

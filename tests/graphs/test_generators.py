@@ -1,0 +1,105 @@
+"""Tests for the random graph generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import (
+    generate_bft_cup_graph,
+    generate_bft_cupft_graph,
+    generate_random_digraph,
+    generate_split_brain_graph,
+)
+from repro.graphs.oracle import StaticOracle
+from repro.graphs.requirements import satisfies_bft_cup, satisfies_bft_cupft
+
+
+class TestCupGenerator:
+    def test_determinism(self):
+        first = generate_bft_cup_graph(f=1, non_sink_size=4, seed=5)
+        second = generate_bft_cup_graph(f=1, non_sink_size=4, seed=5)
+        assert first.graph == second.graph
+        assert first.faulty == second.faulty
+
+    def test_different_seeds_differ(self):
+        first = generate_bft_cup_graph(f=1, non_sink_size=6, seed=1)
+        second = generate_bft_cup_graph(f=1, non_sink_size=6, seed=2)
+        assert first.graph != second.graph
+
+    def test_sink_of_safe_graph_matches_oracle(self):
+        scenario = generate_bft_cup_graph(f=1, non_sink_size=4, seed=3)
+        oracle = StaticOracle(scenario.graph, scenario.faulty)
+        assert oracle.safe_sink == scenario.sink_of_safe_graph
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_bft_cup_graph(f=-1)
+        with pytest.raises(ValueError):
+            generate_bft_cup_graph(f=1, sink_size=2)
+        with pytest.raises(ValueError):
+            generate_bft_cup_graph(f=1, byzantine_count=2)
+
+    def test_no_byzantine_placement(self):
+        scenario = generate_bft_cup_graph(f=1, byzantine_placement="none", seed=0)
+        assert scenario.faulty == frozenset()
+
+    @settings(max_examples=15, deadline=None)
+    @given(f=st.integers(0, 2), non_sink=st.integers(0, 5), seed=st.integers(0, 50))
+    def test_generated_graphs_satisfy_theorem_1(self, f, non_sink, seed):
+        scenario = generate_bft_cup_graph(f=f, non_sink_size=non_sink, seed=seed)
+        assert satisfies_bft_cup(scenario.graph, f, scenario.faulty)
+
+    @pytest.mark.parametrize("placement", ["sink", "non_sink", "mixed"])
+    def test_byzantine_placements(self, placement):
+        scenario = generate_bft_cup_graph(
+            f=2, non_sink_size=4, byzantine_placement=placement, seed=11
+        )
+        assert len(scenario.faulty) == 2
+        assert satisfies_bft_cup(scenario.graph, 2, scenario.faulty)
+
+    def test_larger_sink_than_minimum(self):
+        scenario = generate_bft_cup_graph(f=1, sink_size=6, non_sink_size=3, seed=4)
+        assert satisfies_bft_cup(scenario.graph, 1, scenario.faulty)
+        assert len(scenario.sink_of_safe_graph) == 6
+
+
+class TestCupftGenerator:
+    @settings(max_examples=12, deadline=None)
+    @given(f=st.integers(0, 2), non_core=st.integers(0, 5), seed=st.integers(0, 50))
+    def test_generated_graphs_satisfy_cupft(self, f, non_core, seed):
+        scenario = generate_bft_cupft_graph(f=f, non_core_size=non_core, seed=seed)
+        assert satisfies_bft_cupft(scenario.graph, f, scenario.faulty)
+
+    def test_core_is_pinned_to_minimum_size(self):
+        with pytest.raises(ValueError):
+            generate_bft_cupft_graph(f=1, core_size=5)
+
+    def test_core_matches_oracle(self):
+        scenario = generate_bft_cupft_graph(f=2, non_core_size=5, seed=8)
+        oracle = StaticOracle(scenario.graph, scenario.faulty)
+        assert oracle.safe_core == scenario.core_of_safe_graph
+        assert len(scenario.core_of_safe_graph) == 5
+
+
+class TestOtherGenerators:
+    def test_split_brain_graph_has_no_core(self):
+        scenario = generate_split_brain_graph(group_size=4)
+        assert satisfies_bft_cup(scenario.graph, 0, set())
+        assert not satisfies_bft_cupft(scenario.graph, 1, set())
+        oracle = StaticOracle(scenario.graph)
+        assert oracle.safe_core == frozenset()
+
+    def test_split_brain_requires_two_processes_per_group(self):
+        with pytest.raises(ValueError):
+            generate_split_brain_graph(group_size=1)
+
+    def test_random_digraph_size_and_determinism(self):
+        first = generate_random_digraph(size=10, seed=2)
+        second = generate_random_digraph(size=10, seed=2)
+        assert len(first) == 10
+        assert first == second
+
+    def test_random_digraph_edge_probability_extremes(self):
+        empty = generate_random_digraph(size=5, edge_probability=0.0, seed=1)
+        full = generate_random_digraph(size=5, edge_probability=1.0, seed=1)
+        assert empty.edge_count() == 0
+        assert full.edge_count() == 20

@@ -1,0 +1,178 @@
+"""Unit tests for the KnowledgeGraph data structure."""
+
+import pytest
+
+from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = KnowledgeGraph()
+        assert len(graph) == 0
+        assert graph.edge_count() == 0
+        assert graph.processes == frozenset()
+
+    def test_from_pd_mapping(self):
+        graph = KnowledgeGraph({1: [2, 3], 2: [3]})
+        assert graph.processes == {1, 2, 3}
+        assert graph.participant_detector(1) == {2, 3}
+        assert graph.participant_detector(2) == {3}
+        assert graph.participant_detector(3) == frozenset()
+
+    def test_targets_become_vertices(self):
+        graph = KnowledgeGraph({1: [7]})
+        assert 7 in graph
+        assert graph.participant_detector(7) == frozenset()
+
+    def test_add_edge_adds_processes(self):
+        graph = KnowledgeGraph()
+        graph.add_edge("a", "b")
+        assert graph.processes == {"a", "b"}
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+    def test_self_loops_are_ignored(self):
+        graph = KnowledgeGraph()
+        graph.add_edge(1, 1)
+        assert 1 in graph
+        assert graph.edge_count() == 0
+
+    def test_duplicate_edges_counted_once(self):
+        graph = KnowledgeGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2)
+        assert graph.edge_count() == 1
+
+    def test_from_edges_with_isolated_nodes(self):
+        graph = KnowledgeGraph.from_edges([(1, 2)], nodes=[3])
+        assert graph.processes == {1, 2, 3}
+
+    def test_add_edges_bulk(self):
+        graph = KnowledgeGraph()
+        graph.add_edges([(1, 2), (2, 3), (3, 1)])
+        assert graph.edge_count() == 3
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = KnowledgeGraph({1: [2], 2: [1]})
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+
+    def test_remove_missing_edge_is_noop(self):
+        graph = KnowledgeGraph({1: [2]})
+        graph.remove_edge(2, 1)
+        assert graph.edge_count() == 1
+
+    def test_remove_process_removes_incident_edges(self):
+        graph = KnowledgeGraph({1: [2, 3], 2: [3], 3: [1]})
+        graph.remove_process(3)
+        assert graph.processes == {1, 2}
+        assert graph.participant_detector(1) == {2}
+        assert graph.participant_detector(2) == frozenset()
+
+    def test_copy_is_independent(self):
+        graph = KnowledgeGraph({1: [2]})
+        clone = graph.copy()
+        clone.add_edge(2, 1)
+        assert not graph.has_edge(2, 1)
+        assert clone.has_edge(2, 1)
+
+    def test_equality_by_pd_map(self):
+        first = KnowledgeGraph({1: [2], 2: []})
+        second = KnowledgeGraph()
+        second.add_process(2)
+        second.add_edge(1, 2)
+        assert first == second
+        second.add_edge(2, 1)
+        assert first != second
+
+
+class TestInspection:
+    def test_degrees(self):
+        graph = KnowledgeGraph({1: [2, 3], 2: [3], 3: []})
+        assert graph.out_degree(1) == 2
+        assert graph.in_degree(3) == 2
+        assert graph.in_degree(1) == 0
+
+    def test_predecessors_and_successors(self):
+        graph = KnowledgeGraph({1: [2], 3: [2]})
+        assert graph.predecessors(2) == {1, 3}
+        assert graph.successors(1) == {2}
+
+    def test_unknown_process_raises(self):
+        graph = KnowledgeGraph({1: [2]})
+        with pytest.raises(KeyError):
+            graph.participant_detector(99)
+        with pytest.raises(KeyError):
+            graph.predecessors(99)
+
+    def test_pd_map_round_trip(self):
+        original = {1: frozenset({2, 3}), 2: frozenset({1}), 3: frozenset()}
+        graph = KnowledgeGraph(original)
+        assert graph.pd_map() == original
+
+    def test_edges_iteration(self):
+        graph = KnowledgeGraph({1: [2], 2: [3]})
+        assert set(graph.edges()) == {(1, 2), (2, 3)}
+
+    def test_contains_and_iter(self):
+        graph = KnowledgeGraph({1: [2]})
+        assert 1 in graph and 2 in graph and 3 not in graph
+        assert set(iter(graph)) == {1, 2}
+
+
+class TestDerivedGraphs:
+    def test_subgraph_keeps_internal_edges_only(self):
+        graph = KnowledgeGraph({1: [2, 3], 2: [3], 3: [1]})
+        sub = graph.subgraph({1, 2})
+        assert sub.processes == {1, 2}
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 3)
+
+    def test_subgraph_unknown_node_raises(self):
+        graph = KnowledgeGraph({1: [2]})
+        with pytest.raises(KeyError):
+            graph.subgraph({1, 9})
+
+    def test_safe_subgraph_removes_faulty(self):
+        graph = KnowledgeGraph({1: [2, 3], 2: [3], 3: [1]})
+        safe = graph.safe_subgraph({3})
+        assert safe.processes == {1, 2}
+        assert safe.has_edge(1, 2)
+
+    def test_undirected_counterpart(self):
+        graph = KnowledgeGraph({1: [2], 3: [2]})
+        undirected = graph.undirected_counterpart()
+        assert undirected[2] == {1, 3}
+        assert undirected[1] == {2}
+
+    def test_reversed(self):
+        graph = KnowledgeGraph({1: [2], 2: [3]})
+        reverse = graph.reversed()
+        assert reverse.has_edge(2, 1)
+        assert reverse.has_edge(3, 2)
+        assert not reverse.has_edge(1, 2)
+
+    def test_to_networkx_matches(self):
+        graph = KnowledgeGraph({1: [2, 3], 2: [3]})
+        nx_graph = graph.to_networkx()
+        assert set(nx_graph.nodes) == {1, 2, 3}
+        assert set(nx_graph.edges) == set(graph.edges())
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        graph = KnowledgeGraph({1: [2], 2: [3], 3: [], 4: [1]})
+        assert graph.reachable_from(1) == {1, 2, 3}
+        assert graph.reachable_from(4) == {1, 2, 3, 4}
+
+    def test_undirected_connectivity(self):
+        connected = KnowledgeGraph({1: [2], 3: [2]})
+        assert connected.is_undirected_connected()
+        disconnected = KnowledgeGraph({1: [2], 3: [4]})
+        assert not disconnected.is_undirected_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert KnowledgeGraph().is_undirected_connected()

@@ -1,0 +1,84 @@
+"""Tests for the k-OSR participant detector check (Definition 1)."""
+
+import pytest
+
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.graphs.osr import is_k_osr, max_osr_k, osr_report
+
+
+class TestIsKOsr:
+    def test_complete_graph_is_highly_osr(self):
+        graph = KnowledgeGraph({i: [j for j in range(1, 5) if j != i] for i in range(1, 5)})
+        assert is_k_osr(graph, 1)
+        assert is_k_osr(graph, 2)
+        assert is_k_osr(graph, 3)
+        assert not is_k_osr(graph, 4)
+        assert max_osr_k(graph) == 3
+
+    def test_disconnected_graph_fails(self, two_sinks):
+        assert not is_k_osr(two_sinks, 1)
+        assert max_osr_k(two_sinks) == 0
+
+    def test_two_sink_components_fail(self):
+        graph = KnowledgeGraph({1: [2], 2: [1], 3: [4], 4: [3], 5: [1, 3]})
+        report = osr_report(graph, 1)
+        assert not report.satisfied
+        assert report.sink_count == 2
+
+    def test_chain_is_1_osr(self, chain):
+        assert is_k_osr(chain, 1)
+        assert not is_k_osr(chain, 2)
+        assert max_osr_k(chain) == 1
+
+    def test_single_node_sink_is_vacuously_connected(self):
+        graph = KnowledgeGraph({1: [2], 2: [3], 3: []})
+        assert is_k_osr(graph, 1)
+        report = osr_report(graph, 1)
+        assert report.sink == {3}
+
+    def test_insufficient_paths_from_non_sink(self):
+        # Non-sink node 4 has only one edge into the 2-connected sink.
+        graph = KnowledgeGraph({1: [2, 3], 2: [1, 3], 3: [1, 2], 4: [1]})
+        assert is_k_osr(graph, 1)
+        assert not is_k_osr(graph, 2)
+        report = osr_report(graph, 2)
+        assert any("node-disjoint paths" in reason for reason in report.failures)
+
+    def test_report_contains_sink_details(self, figures):
+        scenario = figures["fig1b"]
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        report = osr_report(safe, 2)
+        assert report.satisfied
+        assert report.sink == {1, 2, 3}
+        assert report.sink_connectivity == 2
+        assert report.min_paths_to_sink >= 2
+
+
+class TestPaperFigures:
+    def test_fig1a_safe_graph_is_not_2_osr(self, figures):
+        scenario = figures["fig1a"]
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        assert not is_k_osr(safe, 2)
+
+    def test_fig1b_safe_graph_is_2_osr(self, figures):
+        scenario = figures["fig1b"]
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        assert is_k_osr(safe, 2)
+        assert max_osr_k(safe) == 2
+
+    def test_fig2c_full_graph_is_1_osr_only(self, figures):
+        graph = figures["fig2c"].graph
+        assert is_k_osr(graph, 1)
+        assert not is_k_osr(graph, 2)
+        assert max_osr_k(graph) == 1
+
+    def test_fig3b_safe_graph_is_3_osr(self, figures):
+        scenario = figures["fig3b"]
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        assert is_k_osr(safe, 3)
+        assert max_osr_k(safe) == 4  # the K5 clique
+
+    @pytest.mark.parametrize("name", ["fig2a", "fig2b"])
+    def test_impossibility_systems_are_2_osr(self, figures, name):
+        graph = figures[name].graph
+        assert is_k_osr(graph, 2)

@@ -1,0 +1,134 @@
+"""Tests for the sink/core candidate search."""
+
+import pytest
+
+from repro.graphs.figures import figure_1b, figure_2c, figure_4a, figure_4b
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.graphs.predicates import KnowledgeView
+from repro.graphs.sink_search import (
+    SearchOptions,
+    find_all_sinks,
+    find_core_candidate,
+    find_sink_with_fault_threshold,
+    has_stronger_subsink,
+    strongest_sinks,
+)
+
+
+def view_of(graph: KnowledgeGraph, received) -> KnowledgeView:
+    pds = {node: graph.participant_detector(node) for node in received}
+    known = set(received)
+    for pd in pds.values():
+        known |= pd
+    return KnowledgeView(known=frozenset(known), pds=pds)
+
+
+class TestSinkSearchWithKnownF:
+    def test_fig1b_from_full_safe_knowledge(self):
+        scenario = figure_1b()
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        witness = find_sink_with_fault_threshold(KnowledgeView.full(safe), 1)
+        assert witness is not None
+        assert witness.members == {1, 2, 3}
+
+    def test_fig1b_from_partial_view_includes_byzantine(self):
+        # When the correct sink members' PDs are known in the full graph,
+        # the Byzantine process 4 (known by all of them) joins through S2.
+        graph = figure_1b().graph
+        witness = find_sink_with_fault_threshold(view_of(graph, [1, 2, 3]), 1)
+        assert witness is not None
+        assert witness.members == {1, 2, 3, 4}
+        assert witness.s2 == {4}
+
+    def test_insufficient_view_returns_none(self):
+        graph = figure_1b().graph
+        assert find_sink_with_fault_threshold(view_of(graph, [1, 2]), 1) is None
+
+    def test_non_sink_view_returns_none(self):
+        graph = figure_1b().graph
+        assert find_sink_with_fault_threshold(view_of(graph, [5, 6, 7, 8]), 1) is None
+
+    def test_fault_free_case(self):
+        graph = KnowledgeGraph({1: [2], 2: [1], 3: [1, 2]})
+        witness = find_sink_with_fault_threshold(KnowledgeView.full(graph), 0)
+        assert witness is not None
+        assert witness.members == {1, 2}
+
+
+class TestFindAllSinks:
+    def test_fig2c_finds_both_groups(self):
+        witnesses = find_all_sinks(KnowledgeView.full(figure_2c().graph))
+        members = {witness.members for witness in witnesses}
+        assert {frozenset({1, 2, 3, 4}), frozenset({5, 6, 7, 8})} <= members
+
+    def test_strongest_sinks_tie_in_fig2c(self):
+        strongest = strongest_sinks(KnowledgeView.full(figure_2c().graph))
+        assert len(strongest) == 2
+        assert {witness.connectivity for witness in strongest} == {2}
+
+    def test_fig4b_safe_graph_has_unique_strongest(self):
+        scenario = figure_4b()
+        safe = scenario.graph.safe_subgraph(scenario.faulty)
+        strongest = strongest_sinks(KnowledgeView.full(safe))
+        assert len(strongest) == 1
+        assert strongest[0].members == {1, 2, 3}
+
+    def test_empty_view_has_no_sinks(self):
+        view = KnowledgeView(known=frozenset(), pds={})
+        assert find_all_sinks(view) == []
+
+
+class TestCoreCandidate:
+    def test_fig4b_core_from_group_view(self):
+        graph = figure_4b().graph
+        candidate = find_core_candidate(view_of(graph, [1, 2, 3]))
+        assert candidate is not None
+        assert candidate.members == {1, 2, 3, 4}
+        assert candidate.connectivity == 2
+        assert candidate.estimated_f == 1
+
+    def test_fig2c_group_views_disagree(self):
+        # This is exactly the ambiguity of Theorem 7: each group's local view
+        # admits its own core candidate.
+        graph = figure_2c().graph
+        group_a = find_core_candidate(view_of(graph, [1, 2, 3, 4]))
+        group_b = find_core_candidate(view_of(graph, [5, 6, 7, 8]))
+        assert group_a is not None and group_b is not None
+        assert group_a.members != group_b.members
+
+    def test_fig2c_full_view_has_no_core(self):
+        assert find_core_candidate(KnowledgeView.full(figure_2c().graph)) is None
+
+    def test_fig4b_old_group_cannot_identify_a_core(self):
+        graph = figure_4b().graph
+        assert find_core_candidate(view_of(graph, [6, 7, 8])) is None
+        assert find_core_candidate(view_of(graph, [5, 6, 7, 8])) is None
+
+    def test_fig4a_core_found_with_byzantine_member(self):
+        graph = figure_4a().graph
+        candidate = find_core_candidate(view_of(graph, [1, 2, 3]))
+        assert candidate is not None
+        assert candidate.members == {1, 2, 3, 4}
+
+
+class TestStrongerSubsink:
+    def test_no_stronger_subsink_in_minimal_core(self):
+        scenario = figure_4b()
+        view = KnowledgeView.full(scenario.graph.safe_subgraph(scenario.faulty))
+        assert not has_stronger_subsink(view, {1, 2, 3}, 2)
+
+    def test_detects_stronger_subsink(self):
+        # A K4 core with a weakly attached extra node: the K4 (connectivity 2
+        # as a sink, via S2 absorbing the extra node) is a subset of the
+        # 5-node set with connectivity >= 1.
+        graph = KnowledgeGraph(
+            {1: [2, 3, 4], 2: [1, 3, 4], 3: [1, 2, 4], 4: [1, 2, 3, 5], 5: [4]}
+        )
+        view = KnowledgeView.full(graph)
+        assert has_stronger_subsink(view, {1, 2, 3, 4, 5}, 1)
+
+    def test_options_limit_subset_exploration(self):
+        scenario = figure_4b()
+        view = KnowledgeView.full(scenario.graph.safe_subgraph(scenario.faulty))
+        options = SearchOptions(max_subsets=1)
+        assert not has_stronger_subsink(view, {1, 2, 3}, 2, options)

@@ -1,0 +1,48 @@
+"""Tests for the quorum-size rules."""
+
+import pytest
+
+from repro.pbft.quorum import classic_quorum, paper_quorum, quorums_intersect_in_correct
+
+
+class TestPaperQuorum:
+    @pytest.mark.parametrize(
+        "group,f,expected",
+        [(4, 1, 3), (3, 1, 3), (5, 2, 4), (7, 2, 5), (6, 1, 4), (10, 3, 7)],
+    )
+    def test_values(self, group, f, expected):
+        assert paper_quorum(group, f) == expected
+
+    @pytest.mark.parametrize("group,f", [(3, 1), (4, 1), (5, 1), (5, 2), (7, 2), (9, 4), (13, 4)])
+    def test_quorums_always_intersect_in_a_correct_process(self, group, f):
+        quorum = paper_quorum(group, f)
+        assert quorums_intersect_in_correct(group, f, quorum)
+
+    @pytest.mark.parametrize("f", [1, 2, 3, 4])
+    def test_quorum_available_with_2f_plus_1_correct(self, f):
+        # Sink = 2f+1 correct + up to f Byzantine members: the quorum must be
+        # reachable using correct members only.
+        for byzantine in range(0, f + 1):
+            group = 2 * f + 1 + byzantine
+            assert paper_quorum(group, f) <= 2 * f + 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            paper_quorum(0, 1)
+        with pytest.raises(ValueError):
+            paper_quorum(4, -1)
+
+
+class TestClassicQuorum:
+    def test_values(self):
+        assert classic_quorum(4, 1) == 3
+        assert classic_quorum(7, 2) == 5
+
+    def test_clamped_to_group_size(self):
+        assert classic_quorum(3, 2) == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            classic_quorum(0, 0)
+        with pytest.raises(ValueError):
+            classic_quorum(3, -1)

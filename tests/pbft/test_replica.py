@@ -1,0 +1,147 @@
+"""Tests for the single-shot PBFT-style replica (the inner consensus)."""
+
+import pytest
+
+from repro.crypto.signatures import KeyRegistry
+from repro.pbft.messages import GroupKey, PrePrepare
+from repro.pbft.quorum import paper_quorum
+from repro.pbft.replica import PbftConfig, SingleShotPbft, _preprepare_payload
+from repro.sim.engine import Simulator
+
+
+class Harness:
+    """Runs a group of replicas over an in-memory instant network."""
+
+    def __init__(self, members, fault_threshold, byzantine=frozenset(), quorum_rule="paper"):
+        self.simulator = Simulator(max_time=100_000.0)
+        self.registry = KeyRegistry(seed=0)
+        self.members = list(members)
+        self.byzantine = set(byzantine)
+        self.decisions = {}
+        group = GroupKey(members=frozenset(members))
+        self.replicas = {}
+        for member in members:
+            if member in self.byzantine:
+                continue
+            self.replicas[member] = SingleShotPbft(
+                process_id=member,
+                group=group,
+                fault_threshold=fault_threshold,
+                proposal=f"value-{member}",
+                key=self.registry.generate(member),
+                registry=self.registry,
+                send=lambda receiver, payload, sender=member: self.deliver(sender, receiver, payload),
+                schedule=lambda delay, callback: self.simulator.schedule(delay, callback),
+                on_decide=lambda value, member=member: self.decisions.setdefault(member, value),
+                config=PbftConfig(base_timeout=10.0, quorum_rule=quorum_rule),
+            )
+        self.group = group
+
+    def deliver(self, sender, receiver, payload):
+        replica = self.replicas.get(receiver)
+        if replica is None:
+            return
+        # Deliver with a small delay through the simulator so ordering is
+        # deterministic but asynchronous-ish.
+        self.simulator.schedule(0.1, lambda: replica.handle(sender, payload))
+
+    def run(self):
+        for replica in self.replicas.values():
+            replica.start()
+        self.simulator.run(until=lambda: len(self.decisions) == len(self.replicas))
+        return self.decisions
+
+
+class TestHappyPath:
+    def test_all_correct_replicas_decide_the_leader_value(self):
+        harness = Harness(members=[1, 2, 3, 4], fault_threshold=1)
+        decisions = harness.run()
+        assert set(decisions) == {1, 2, 3, 4}
+        assert set(decisions.values()) == {"value-1"}  # leader of view 0 is process 1
+
+    @pytest.mark.parametrize("size,f", [(3, 1), (5, 2), (7, 2)])
+    def test_various_group_sizes(self, size, f):
+        harness = Harness(members=list(range(1, size + 1)), fault_threshold=f)
+        decisions = harness.run()
+        assert len(decisions) == size
+        assert len(set(map(repr, decisions.values()))) == 1
+
+    def test_classic_quorum_rule(self):
+        harness = Harness(members=[1, 2, 3, 4], fault_threshold=1, quorum_rule="classic")
+        decisions = harness.run()
+        assert len(set(map(repr, decisions.values()))) == 1
+
+
+class TestFaultTolerance:
+    def test_silent_byzantine_member(self):
+        harness = Harness(members=[1, 2, 3, 4], fault_threshold=1, byzantine={4})
+        decisions = harness.run()
+        assert set(decisions) == {1, 2, 3}
+        assert len(set(decisions.values())) == 1
+
+    def test_silent_byzantine_leader_triggers_view_change(self):
+        # Member 1 (the view-0 leader) is Byzantine-silent: the others must
+        # rotate to view 1 and decide the new leader's value.
+        harness = Harness(members=[1, 2, 3, 4], fault_threshold=1, byzantine={1})
+        decisions = harness.run()
+        assert set(decisions) == {2, 3, 4}
+        assert set(decisions.values()) == {"value-2"}
+
+    def test_equivocating_leader_cannot_cause_disagreement(self):
+        harness = Harness(members=[1, 2, 3, 4], fault_threshold=1, byzantine={1})
+        group = harness.group
+        key = harness.registry.generate(1)
+        # The Byzantine leader sends different view-0 proposals to different members.
+        for member, value in ((2, "evil-A"), (3, "evil-B"), (4, "evil-A")):
+            signed = key.sign(_preprepare_payload(group, 0, value))
+            harness.deliver(1, member, PrePrepare(group=group, view=0, value=value, signed=signed))
+        decisions = harness.run()
+        assert len(decisions) == 3
+        assert len(set(decisions.values())) == 1  # agreement despite equivocation
+
+    def test_decisions_are_integrity_preserving(self):
+        harness = Harness(members=[1, 2, 3], fault_threshold=0)
+        harness.run()
+        replica = harness.replicas[1]
+        first_value = replica.decided_value
+        # Feeding more traffic after the decision must not change it.
+        replica.handle(2, PrePrepare(group=harness.group, view=5, value="late", signed=harness.registry.generate(2).sign("x")))
+        assert replica.decided_value == first_value
+
+
+class TestValidation:
+    def test_replica_must_be_a_member(self):
+        registry = KeyRegistry(seed=0)
+        with pytest.raises(ValueError):
+            SingleShotPbft(
+                process_id=9,
+                group=GroupKey(members=frozenset({1, 2, 3})),
+                fault_threshold=1,
+                proposal="x",
+                key=registry.generate(9),
+                registry=registry,
+                send=lambda *_: None,
+                schedule=lambda *_: None,
+                on_decide=lambda *_: None,
+            )
+
+    def test_messages_from_other_groups_are_ignored(self):
+        harness = Harness(members=[1, 2, 3], fault_threshold=0)
+        other_group = GroupKey(members=frozenset({7, 8, 9}))
+        key = harness.registry.generate(7)
+        message = PrePrepare(
+            group=other_group, view=0, value="other", signed=key.sign(_preprepare_payload(other_group, 0, "other"))
+        )
+        harness.replicas[1].handle(7, message)
+        assert harness.replicas[1]._preprepare_seen == {}
+
+    def test_forged_preprepare_is_ignored(self):
+        harness = Harness(members=[1, 2, 3, 4], fault_threshold=1, byzantine={4})
+        group = harness.group
+        mallory = harness.registry.generate(4)
+        # Process 4 forges a pre-prepare pretending to be leader 1.
+        forged = PrePrepare(
+            group=group, view=0, value="forged", signed=mallory.sign(_preprepare_payload(group, 0, "forged"))
+        )
+        harness.replicas[2].handle(1, forged)
+        assert 0 not in harness.replicas[2]._prepared_sent

@@ -1,0 +1,133 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationLimitExceeded, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(5.0, lambda: order.append("late"))
+        simulator.schedule(1.0, lambda: order.append("early"))
+        simulator.schedule(3.0, lambda: order.append("middle"))
+        simulator.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_broken_by_insertion_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(1.0, lambda: order.append("first"))
+        simulator.schedule(1.0, lambda: order.append("second"))
+        simulator.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(2.5, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [2.5]
+        assert simulator.now == 2.5
+
+    def test_nested_scheduling(self):
+        simulator = Simulator()
+        seen = []
+
+        def outer():
+            simulator.schedule(1.0, lambda: seen.append(simulator.now))
+
+        simulator.schedule(1.0, outer)
+        simulator.run()
+        assert seen == [2.0]
+
+    def test_negative_delay_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(ValueError):
+            simulator.schedule_at(1.0, lambda: None)
+
+    def test_cancellation(self):
+        simulator = Simulator()
+        seen = []
+        handle = simulator.schedule(1.0, lambda: seen.append("cancelled"))
+        simulator.schedule(2.0, lambda: seen.append("kept"))
+        handle.cancel()
+        simulator.run()
+        assert seen == ["kept"]
+        assert handle.cancelled
+
+
+class TestRunControl:
+    def test_run_until_predicate(self):
+        simulator = Simulator()
+        counter = []
+        for delay in range(1, 10):
+            simulator.schedule(float(delay), lambda: counter.append(1))
+        satisfied = simulator.run(until=lambda: len(counter) >= 3)
+        assert satisfied
+        assert len(counter) == 3
+
+    def test_run_drains_queue_without_predicate(self):
+        simulator = Simulator()
+        counter = []
+        simulator.schedule(1.0, lambda: counter.append(1))
+        assert simulator.run()
+        assert counter == [1]
+
+    def test_horizon_stops_the_run(self):
+        simulator = Simulator(max_time=10.0)
+        seen = []
+        simulator.schedule(5.0, lambda: seen.append("in"))
+        simulator.schedule(50.0, lambda: seen.append("out"))
+        satisfied = simulator.run(until=lambda: "out" in seen)
+        assert not satisfied
+        assert seen == ["in"]
+
+    def test_event_budget(self):
+        simulator = Simulator(max_events=5)
+
+        def reschedule():
+            simulator.schedule(1.0, reschedule)
+
+        simulator.schedule(1.0, reschedule)
+        satisfied = simulator.run(until=lambda: False)
+        assert not satisfied
+        assert simulator.processed_events == 5
+
+    def test_event_budget_can_raise(self):
+        simulator = Simulator(max_events=3)
+
+        def reschedule():
+            simulator.schedule(1.0, reschedule)
+
+        simulator.schedule(1.0, reschedule)
+        with pytest.raises(SimulationLimitExceeded):
+            simulator.run(until=lambda: False, raise_on_limit=True)
+
+    def test_stop(self):
+        simulator = Simulator()
+        seen = []
+
+        def first():
+            seen.append("first")
+            simulator.stop()
+
+        simulator.schedule(1.0, first)
+        simulator.schedule(2.0, lambda: seen.append("second"))
+        simulator.run()
+        assert seen == ["first"]
+
+    def test_pending_events_counts_uncancelled(self):
+        simulator = Simulator()
+        handle = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert simulator.pending_events() == 1

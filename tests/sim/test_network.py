@@ -1,0 +1,158 @@
+"""Tests for the network models and the authenticated transport."""
+
+import random
+
+import pytest
+
+from repro.graphs.knowledge_graph import ProcessId
+from repro.sim.engine import Simulator
+from repro.sim.network import (
+    AsynchronousModel,
+    Network,
+    PartialSynchronyModel,
+    SynchronousModel,
+)
+from repro.sim.process import Process
+from repro.sim.tracing import SimulationTrace
+
+
+class Recorder(Process):
+    """Test process that records every delivered envelope."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def receive(self, envelope):
+        self.received.append(envelope)
+
+
+def make_network(model=None, faulty=frozenset()):
+    simulator = Simulator()
+    trace = SimulationTrace()
+    network = Network(simulator, model or SynchronousModel(delta=1.0), trace=trace, seed=1, faulty=faulty)
+    return simulator, network, trace
+
+
+class TestSynchronyModels:
+    def test_synchronous_delays_bounded_by_delta(self):
+        model = SynchronousModel(delta=2.0, minimum_delay=0.1)
+        rng = random.Random(0)
+        for _ in range(200):
+            delay = model.delay(
+                now=0.0, sender=1, receiver=2, sender_correct=True, receiver_correct=True, rng=rng
+            )
+            assert 0.1 <= delay <= 2.0
+
+    def test_partial_synchrony_after_gst(self):
+        model = PartialSynchronyModel(gst=10.0, delta=1.0)
+        rng = random.Random(0)
+        for _ in range(200):
+            delay = model.delay(
+                now=20.0, sender=1, receiver=2, sender_correct=True, receiver_correct=True, rng=rng
+            )
+            assert delay <= 1.0
+
+    def test_partial_synchrony_messages_arrive_by_gst_plus_delta(self):
+        model = PartialSynchronyModel(gst=10.0, delta=1.0, pre_gst_max_delay=100.0)
+        rng = random.Random(0)
+        for now in (0.0, 5.0, 9.9):
+            for _ in range(100):
+                delay = model.delay(
+                    now=now, sender=1, receiver=2, sender_correct=True, receiver_correct=True, rng=rng
+                )
+                assert now + delay <= 11.0 + 1e-9
+
+    def test_asynchronous_targeted_links_never_deliver(self):
+        model = AsynchronousModel(targeted_links=frozenset({(1, 2)}))
+        rng = random.Random(0)
+        assert model.delay(
+            now=0.0, sender=1, receiver=2, sender_correct=True, receiver_correct=True, rng=rng
+        ) is None
+        assert model.delay(
+            now=0.0, sender=2, receiver=1, sender_correct=True, receiver_correct=True, rng=rng
+        ) is not None
+
+    def test_asynchronous_starvation_probability_one(self):
+        model = AsynchronousModel(starvation_probability=1.0)
+        rng = random.Random(0)
+        assert model.delay(
+            now=0.0, sender=1, receiver=2, sender_correct=True, receiver_correct=True, rng=rng
+        ) is None
+
+
+class TestTransport:
+    def test_delivery_and_sender_stamping(self):
+        simulator, network, trace = make_network()
+        alice = Recorder(1, frozenset(), simulator, network)
+        bob = Recorder(2, frozenset(), simulator, network)
+        network.send(1, 2, "hello")
+        simulator.run()
+        assert len(bob.received) == 1
+        envelope = bob.received[0]
+        assert envelope.sender == 1
+        assert envelope.payload == "hello"
+        assert trace.messages_delivered == 1
+        assert not alice.received
+
+    def test_unknown_receiver_dropped(self):
+        simulator, network, trace = make_network()
+        Recorder(1, frozenset(), simulator, network)
+        network.send(1, 99, "hello")
+        simulator.run()
+        assert trace.messages_dropped == 1
+
+    def test_crashed_sender_and_receiver(self):
+        simulator, network, trace = make_network()
+        Recorder(1, frozenset(), simulator, network)
+        bob = Recorder(2, frozenset(), simulator, network)
+        network.crash(1)
+        network.send(1, 2, "from-crashed")
+        simulator.run()
+        assert not bob.received
+        network.crash(2)
+        network.send(2, 1, "to-crashed")  # sender also crashed
+        simulator.run()
+        assert trace.messages_dropped == 2
+
+    def test_crash_while_in_flight(self):
+        simulator, network, trace = make_network()
+        Recorder(1, frozenset(), simulator, network)
+        bob = Recorder(2, frozenset(), simulator, network)
+        network.send(1, 2, "hello")
+        network.crash(2)
+        simulator.run()
+        assert not bob.received
+        assert trace.messages_dropped == 1
+
+    def test_duplicate_registration_rejected(self):
+        simulator, network, _ = make_network()
+        Recorder(1, frozenset(), simulator, network)
+        with pytest.raises(ValueError):
+            Recorder(1, frozenset(), simulator, network)
+
+    def test_broadcast_excludes_sender(self):
+        simulator, network, trace = make_network()
+        nodes = {pid: Recorder(pid, frozenset(), simulator, network) for pid in (1, 2, 3)}
+        network.broadcast(1, frozenset({1, 2, 3}), "ping")
+        simulator.run()
+        assert len(nodes[2].received) == 1
+        assert len(nodes[3].received) == 1
+        assert not nodes[1].received
+
+    def test_delay_override(self):
+        simulator, network, trace = make_network()
+        Recorder(1, frozenset(), simulator, network)
+        bob = Recorder(2, frozenset(), simulator, network)
+        network.add_delay_override(lambda envelope: None if envelope.payload != "drop-me" else 0.0)
+        network.add_delay_override(lambda envelope: 0.5)
+        network.send(1, 2, "normal")
+        simulator.run()
+        assert len(bob.received) == 1
+
+    def test_is_correct_tracks_faults_and_crashes(self):
+        simulator, network, _ = make_network(faulty=frozenset({3}))
+        assert not network.is_correct(3)
+        assert network.is_correct(1)
+        network.crash(1)
+        assert not network.is_correct(1)

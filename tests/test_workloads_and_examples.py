@@ -1,0 +1,124 @@
+"""Tests for the workload builders, the model-subtlety finding, and the example scripts."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.adversary.spec import FaultSpec
+from repro.core import ProtocolMode
+from repro.graphs.figures import figure_1b
+from repro.graphs.generators import generate_bft_cupft_graph
+from repro.graphs.knowledge_graph import KnowledgeGraph
+from repro.graphs.oracle import StaticOracle
+from repro.graphs.requirements import satisfies_bft_cupft
+from repro.workloads import default_fault_spec, figure_run_config, generated_run_config
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestWorkloadBuilders:
+    def test_figure_run_config_defaults(self):
+        config = figure_run_config(figure_1b(), mode=ProtocolMode.BFT_CUP)
+        assert config.protocol.fault_threshold == 1
+        assert set(config.faulty) == {4}
+        assert config.faulty[4].behaviour == "silent"
+
+    def test_figure_run_config_cupft_mode(self):
+        config = figure_run_config(figure_1b(), mode=ProtocolMode.BFT_CUPFT)
+        assert config.protocol.fault_threshold is None
+
+    def test_generated_run_config(self):
+        scenario = generate_bft_cupft_graph(f=1, non_core_size=2, seed=1)
+        config = generated_run_config(scenario, behaviour="lying_pd")
+        assert set(config.faulty) == set(scenario.faulty)
+        assert all(spec.behaviour == "lying_pd" for spec in config.faulty.values())
+
+    def test_default_fault_spec_variants(self):
+        processes = frozenset({1, 2, 3})
+        assert default_fault_spec("silent", processes).behaviour == "silent"
+        assert default_fault_spec("crash", processes).crash_time > 0
+        assert default_fault_spec("lying_pd", processes).claimed_pd == processes
+        with pytest.raises(ValueError):
+            default_fault_spec("nonsense", processes)
+
+
+class TestModelSubtlety:
+    """The DESIGN.md finding: a core strictly inside the safe sink component is fragile.
+
+    The graph below has a 5-clique ``{1,...,5}`` (the core, connectivity 3)
+    whose members 4 and 5 also know process 6, which points back into the
+    clique; the sink component of ``Gsafe`` is therefore ``{1,...,6}``
+    (connectivity 2) and strictly contains the core.  With ``f = 1`` and
+    process 7 Byzantine the BFT-CUPFT requirements hold -- yet:
+
+    * a correct process that has received every PD except core member 1's
+      finds ``{1,...,6}`` as its strongest visible sink and (under the
+      natural Theorem 8 termination rule) would return it, while processes
+      with full knowledge return ``{1,...,5}``;
+    * it cannot wait for 1's PD either, because a world in which process 1
+      is the Byzantine-silent one is indistinguishable at that point (and in
+      that world no unique core exists at all).
+
+    This is why the reproduction pins the random BFT-CUPFT workloads (and
+    the Fig. 4 reconstructions) to cores that coincide with the sink
+    component of ``Gsafe``.
+    """
+
+    def _fragile_graph(self) -> KnowledgeGraph:
+        graph = KnowledgeGraph(
+            {i: [j for j in range(1, 6) if j != i] for i in range(1, 6)}
+        )
+        graph.add_edges([(4, 6), (5, 6), (6, 3), (6, 4), (6, 5)])
+        graph.add_edges([(7, 1), (7, 2), (7, 3)])
+        graph.add_edges([(8, 1), (8, 2), (8, 3), (8, 7)])
+        return graph
+
+    def test_world_one_satisfies_requirements_with_core_inside_sink(self):
+        from repro.graphs.components import sink_components
+
+        graph = self._fragile_graph()
+        assert satisfies_bft_cupft(graph, 1, {7})
+        oracle = StaticOracle(graph, frozenset({7}))
+        assert oracle.safe_core == {1, 2, 3, 4, 5}
+        assert oracle.safe_sink == {1, 2, 3, 4, 5, 6}
+        assert oracle.safe_core < oracle.safe_sink
+
+    def test_removing_one_core_member_destroys_core_uniqueness(self):
+        graph = self._fragile_graph()
+        world_two = StaticOracle(graph, frozenset({1}))
+        assert world_two.safe_core == frozenset()
+        assert not satisfies_bft_cupft(graph, 1, {1})
+
+    def test_partial_view_misidentifies_the_core(self):
+        from repro.graphs.predicates import KnowledgeView
+        from repro.graphs.sink_search import find_core_candidate
+
+        graph = self._fragile_graph()
+        received = [2, 3, 4, 5, 6]
+        pds = {node: graph.participant_detector(node) for node in received}
+        known = set(received)
+        for pd in pds.values():
+            known |= pd
+        premature = find_core_candidate(KnowledgeView(known=frozenset(known), pds=pds))
+        complete = find_core_candidate(
+            KnowledgeView.full(graph.safe_subgraph({7, 8}))
+        )
+        assert premature is not None and complete is not None
+        assert premature.members == {1, 2, 3, 4, 5, 6}
+        assert complete.members == {1, 2, 3, 4, 5}
+        assert premature.members != complete.members
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "unknown_fault_threshold.py", "blockchain_membership.py", "custom_topology.py"],
+)
+def test_examples_run_to_completion(script, capsys):
+    """Every example script must run end-to-end without raising."""
+    path = EXAMPLES_DIR / script
+    assert path.exists()
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip()
