@@ -6,22 +6,29 @@
   almost any strongly connected set a sink (counted on Fig. 4b).
 * Quorum rule for the inner consensus: the paper's ``⌈(n+f+1)/2⌉`` vs the
   classic ``2f+1``.
+
+The graph-side ablations fetch their safe views through a shared
+:class:`~repro.experiments.GraphAnalysisCache` (the figure is analysed once
+and reused); the quorum ablation runs as declarative
+:class:`~repro.experiments.Scenario` cells with ``protocol_options``.
 """
 
 import pytest
 
-from repro.analysis import run_consensus
 from repro.analysis.tables import render_table
 from repro.core import ProtocolMode
 from repro.core.config import QuorumRule
-from repro.graphs.figures import figure_1b, figure_4b
+from repro.experiments import GraphAnalysisCache, GraphSpec, Scenario, SuiteRunner
 from repro.graphs.predicates import KnowledgeView, is_sink_gdi
 from repro.graphs.sink_search import SearchOptions, find_all_sinks
-from repro.workloads import figure_run_config
+
+#: Shared across the ablation tests in this module so the Fig. 4b analysis
+#: is computed once and every later lookup is a cache hit.
+ANALYSIS_CACHE = GraphAnalysisCache()
 
 
 def _p3_rows():
-    graph = figure_1b().graph
+    graph = ANALYSIS_CACHE.analysis(GraphSpec.figure("fig1b")).graph
     pds = {
         1: graph.participant_detector(1),
         3: graph.participant_detector(3),
@@ -35,10 +42,9 @@ def _p3_rows():
 
 
 def _p5_rows():
-    scenario = figure_4b()
-    view = KnowledgeView.full(scenario.graph.safe_subgraph(scenario.faulty))
-    with_bound = find_all_sinks(view, SearchOptions(bound_s2=True))
-    without_bound = find_all_sinks(view, SearchOptions(bound_s2=False))
+    analysis = ANALYSIS_CACHE.analysis(GraphSpec.figure("fig4b"))
+    with_bound = find_all_sinks(analysis.safe_view, SearchOptions(bound_s2=True))
+    without_bound = find_all_sinks(analysis.safe_view, SearchOptions(bound_s2=False))
     return [
         ["sinks found with |S2| <= f (ours)", len(with_bound)],
         ["sinks found without the bound", len(without_bound)],
@@ -57,15 +63,30 @@ def test_predicate_interpretation_ablation(benchmark, experiment_report):
 
 @pytest.mark.parametrize("rule", [QuorumRule.PAPER, QuorumRule.CLASSIC])
 def test_quorum_rule_ablation(benchmark, experiment_report, rule):
-    config = figure_run_config(
-        figure_1b(), mode=ProtocolMode.BFT_CUP, behaviour="silent", quorum_rule=rule
+    scenario = Scenario(
+        name=f"quorum-{rule.value}",
+        graph=GraphSpec.figure("fig1b"),
+        mode=ProtocolMode.BFT_CUP,
+        behaviour="silent",
+        protocol_options=(("quorum_rule", rule),),
     )
-    result = benchmark.pedantic(run_consensus, args=(config,), iterations=1, rounds=1)
+    suite = benchmark.pedantic(
+        SuiteRunner(fail_fast=True, graph_cache=ANALYSIS_CACHE).run,
+        args=([scenario],),
+        iterations=1,
+        rounds=1,
+    )
+    outcome = suite.outcomes[0]
     rows = [
         ["quorum rule", rule.value],
-        ["consensus solved", result.consensus_solved],
-        ["messages", result.messages_sent],
-        ["decision latency", result.latency()],
+        ["consensus solved", outcome.solved],
+        ["messages", outcome.metric("messages")],
+        ["decision latency", outcome.metric("latency")],
     ]
     experiment_report(f"Ablation: quorum rule ({rule.value})", render_table(["metric", "value"], rows))
-    assert result.consensus_solved
+    assert outcome.solved
+    # The figure's static analysis is memoised: the runner's lookup above
+    # populated the shared cache, so this lookup must be served from it.
+    hits_before = ANALYSIS_CACHE.hits
+    ANALYSIS_CACHE.analysis(GraphSpec.figure("fig1b"))
+    assert ANALYSIS_CACHE.hits == hits_before + 1

@@ -5,6 +5,11 @@ protocol into a ~20-line one.  This benchmark quantifies the claim on the
 common phase of both protocols (discovery until sink identification): number
 of messages and identification latency, authenticated Discovery vs flooding
 with reachable reliable broadcast.
+
+The workloads are declarative :class:`~repro.experiments.GraphSpec` cells
+run through the :class:`~repro.experiments.SuiteRunner` with a *custom
+executor* (this phase does not go through ``run_consensus``), showing how
+non-consensus harnesses plug into the same suite machinery.
 """
 
 import pytest
@@ -14,56 +19,69 @@ from repro.baselines import (
     run_authenticated_sink_discovery,
     run_unauthenticated_sink_discovery,
 )
-from repro.graphs.figures import figure_1b
-from repro.graphs.generators import generate_bft_cup_graph
+from repro.experiments import GraphSpec, Scenario, SuiteRunner
 
 WORKLOADS = {
-    "fig1b": lambda: (figure_1b().graph, 1, figure_1b().faulty),
-    "random f=1, n=9": lambda: _generated(1, 3, 0),
-    "random f=1, n=12": lambda: _generated(1, 6, 1),
+    "fig1b": GraphSpec.figure("fig1b"),
+    "random f=1, n=9": GraphSpec.bft_cup(f=1, non_sink_size=3, seed=0),
+    "random f=1, n=12": GraphSpec.bft_cup(f=1, non_sink_size=6, seed=1),
 }
 
 
-def _generated(f, non_sink, seed):
-    scenario = generate_bft_cup_graph(f=f, non_sink_size=non_sink, seed=seed)
-    return scenario.graph, f, scenario.faulty
+def discovery_executor(scenario: Scenario) -> dict:
+    """Run both discovery variants on the scenario's graph; report both."""
+    built = scenario.graph.build()
+    auth = run_authenticated_sink_discovery(
+        built.graph, built.fault_threshold, built.faulty, seed=scenario.seed
+    )
+    unauth = run_unauthenticated_sink_discovery(
+        built.graph, built.fault_threshold, built.faulty, seed=scenario.seed
+    )
+    return {
+        "n": len(built.graph),
+        "auth_messages": auth.messages_sent,
+        "auth_latency": max(auth.identification_times.values()),
+        "auth_agreement": auth.agreement_on_members,
+        "auth_all_identified": auth.all_correct_identified,
+        "unauth_messages": unauth.messages_sent,
+        "unauth_latency": max(unauth.identification_times.values()),
+        "unauth_agreement": unauth.agreement_on_members,
+        "unauth_all_identified": unauth.all_correct_identified,
+    }
 
 
-def _compare(graph, fault_threshold, faulty):
-    auth = run_authenticated_sink_discovery(graph, fault_threshold, faulty, seed=1)
-    unauth = run_unauthenticated_sink_discovery(graph, fault_threshold, faulty, seed=1)
-    return auth, unauth
+def _run(workload: str) -> dict:
+    scenario = Scenario(name=workload, graph=WORKLOADS[workload], seed=1)
+    suite = SuiteRunner(executor=discovery_executor, fail_fast=True).run([scenario])
+    return suite.outcomes[0].summary
 
 
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_auth_vs_unauth_sink_discovery(benchmark, experiment_report, workload):
-    graph, fault_threshold, faulty = WORKLOADS[workload]()
-    auth, unauth = benchmark.pedantic(
-        _compare, args=(graph, fault_threshold, faulty), iterations=1, rounds=1
-    )
+    summary = benchmark.pedantic(_run, args=(workload,), iterations=1, rounds=1)
     rows = [
         [
             "authenticated (Algorithm 1)",
-            auth.messages_sent,
-            max(auth.identification_times.values()),
-            auth.agreement_on_members,
+            summary["auth_messages"],
+            summary["auth_latency"],
+            summary["auth_agreement"],
         ],
         [
             "unauthenticated (reachable reliable broadcast)",
-            unauth.messages_sent,
-            max(unauth.identification_times.values()),
-            unauth.agreement_on_members,
+            summary["unauth_messages"],
+            summary["unauth_latency"],
+            summary["unauth_agreement"],
         ],
         [
             "message ratio (unauth / auth)",
-            round(unauth.messages_sent / max(auth.messages_sent, 1), 2),
+            round(summary["unauth_messages"] / max(summary["auth_messages"], 1), 2),
             "-",
             "-",
         ],
     ]
     experiment_report(
-        f"Authenticated vs unauthenticated sink discovery ({workload}, n={len(graph)})",
+        f"Authenticated vs unauthenticated sink discovery ({workload}, n={summary['n']})",
         render_table(["variant", "messages", "identification latency", "agreement"], rows),
     )
-    assert auth.all_correct_identified and unauth.all_correct_identified
-    assert auth.messages_sent < unauth.messages_sent
+    assert summary["auth_all_identified"] and summary["unauth_all_identified"]
+    assert summary["auth_messages"] < summary["unauth_messages"]

@@ -2,67 +2,98 @@
 
 Sweeps the system size and the fault threshold on generated extended k-OSR
 graphs and reports message complexity, identification latency and decision
-latency for both protocol modes.
+latency for both protocol modes.  The sweep is expressed as two
+:class:`~repro.experiments.ScenarioMatrix` instances (one per protocol
+mode, since each mode pairs with its own graph family) executed through the
+:class:`~repro.experiments.SuiteRunner` with a shared
+:class:`~repro.experiments.GraphAnalysisCache`: the static sink/core
+analysis of each distinct graph is computed once and reused across the seed
+replicates.
+
+Set ``BENCH_QUICK=1`` to shrink the sweep to a CI-sized smoke run.
 """
 
-import pytest
+import os
 
-from repro.analysis import run_consensus
 from repro.analysis.tables import render_table
 from repro.core import ProtocolMode
-from repro.graphs.generators import generate_bft_cup_graph, generate_bft_cupft_graph
-from repro.workloads import generated_run_config
+from repro.experiments import (
+    GraphAnalysisCache,
+    GraphSpec,
+    ScenarioMatrix,
+    SuiteRunner,
+    chain_matrices,
+)
 
-SWEEP = [
-    ("bft-cup", 1, 4),
-    ("bft-cup", 1, 12),
-    ("bft-cup", 2, 8),
-    ("bft-cupft", 1, 4),
-    ("bft-cupft", 1, 12),
-    ("bft-cupft", 2, 8),
-    ("bft-cupft", 3, 8),
-]
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+
+CUP_CELLS = [(1, 4), (1, 12), (2, 8)] if not QUICK else [(1, 4), (1, 12)]
+CUPFT_CELLS = [(1, 4), (1, 12), (2, 8), (3, 8)] if not QUICK else [(1, 4)]
+REPLICATES = 1 if QUICK else 2
 
 
-def _run(mode_name, f, extra):
-    if mode_name == "bft-cup":
-        scenario = generate_bft_cup_graph(f=f, non_sink_size=extra, seed=f * 100 + extra)
-        mode = ProtocolMode.BFT_CUP
-    else:
-        scenario = generate_bft_cupft_graph(f=f, non_core_size=extra, seed=f * 100 + extra)
-        mode = ProtocolMode.BFT_CUPFT
-    config = generated_run_config(scenario, mode=mode, behaviour="silent", seed=1)
-    return scenario, run_consensus(config)
+def scalability_scenarios():
+    """The full sweep: both protocol modes, each over its graph family."""
+    cup = ScenarioMatrix(
+        name="scalability-cup",
+        graphs=tuple(
+            GraphSpec.bft_cup(f=f, non_sink_size=extra, seed=f * 100 + extra)
+            for f, extra in CUP_CELLS
+        ),
+        modes=(ProtocolMode.BFT_CUP,),
+        replicates=REPLICATES,
+        base_seed=1,
+    )
+    cupft = ScenarioMatrix(
+        name="scalability-cupft",
+        graphs=tuple(
+            GraphSpec.bft_cupft(f=f, non_core_size=extra, seed=f * 100 + extra)
+            for f, extra in CUPFT_CELLS
+        ),
+        modes=(ProtocolMode.BFT_CUPFT,),
+        replicates=REPLICATES,
+        base_seed=1,
+    )
+    return chain_matrices(cup, cupft)
 
 
 def _sweep():
-    rows = []
-    for mode_name, f, extra in SWEEP:
-        scenario, result = _run(mode_name, f, extra)
-        rows.append(
-            [
-                mode_name,
-                f,
-                len(scenario.graph.processes),
-                result.messages_sent,
-                result.identification_latency(),
-                result.latency(),
-                result.consensus_solved,
-            ]
-        )
-    return rows
+    cache = GraphAnalysisCache()
+    runner = SuiteRunner(graph_cache=cache)
+    suite = runner.run(scalability_scenarios())
+    return suite, cache
 
 
 def test_scalability_sweep(benchmark, experiment_report):
-    rows = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    suite, cache = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    rows = []
+    for outcome in suite:
+        analysis = outcome.graph_analysis
+        rows.append(
+            [
+                outcome.scenario.mode.value,
+                analysis["fault_threshold"],
+                analysis["processes"],
+                outcome.metric("messages"),
+                outcome.metric("identification_latency"),
+                outcome.metric("latency"),
+                outcome.solved,
+            ]
+        )
     experiment_report(
         "Scalability sweep (generated graphs, silent Byzantine processes)",
         render_table(
             ["protocol", "f", "n", "messages", "identify latency", "decide latency", "solved"],
             rows,
-        ),
+        )
+        + "\n"
+        + suite.render(group_by="mode", title="Aggregates per protocol mode"),
     )
     assert all(row[-1] for row in rows)
+    # The per-graph static analysis is shared across replicates: every
+    # distinct graph is analysed exactly once.
+    assert cache.hits > 0 or REPLICATES == 1
+    assert cache.misses == len(CUP_CELLS) + len(CUPFT_CELLS)
     # Message complexity grows with the system size within each protocol mode.
     cup_rows = [row for row in rows if row[0] == "bft-cup" and row[1] == 1]
-    assert cup_rows[0][3] < cup_rows[1][3]
+    assert cup_rows[0][3] < cup_rows[-1][3]

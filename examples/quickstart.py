@@ -1,9 +1,16 @@
-"""Quickstart: solve consensus on the paper's Fig. 1b graph.
+"""Quickstart: solve consensus on the paper's Fig. 1b graph, then sweep it.
 
-The scenario is the paper's running example: eight processes, each knowing
-only a subset of the others (the knowledge connectivity graph of Fig. 1b),
-process 4 Byzantine and silent, and the fault threshold ``f = 1`` given to
-every process (the authenticated BFT-CUP model of Section III).
+Part 1 is the paper's running example as a single run: eight processes,
+each knowing only a subset of the others (the knowledge connectivity graph
+of Fig. 1b), process 4 Byzantine and silent, and the fault threshold
+``f = 1`` given to every process (the authenticated BFT-CUP model of
+Section III).
+
+Part 2 is the canonical experiment workflow: declare a
+:class:`~repro.experiments.ScenarioMatrix` (here: both figure graphs ×
+two adversary behaviours × three seed replicates), execute it through the
+:class:`~repro.experiments.SuiteRunner`, and read the aggregated per-group
+statistics from the :class:`~repro.experiments.SuiteResult`.
 
 Run with::
 
@@ -13,12 +20,13 @@ Run with::
 from repro.analysis import run_consensus
 from repro.analysis.tables import render_table
 from repro.core import ProtocolMode
+from repro.experiments import GraphAnalysisCache, GraphSpec, ScenarioMatrix, SuiteRunner
 from repro.graphs import StaticOracle
 from repro.graphs.figures import figure_1b
 from repro.workloads import figure_run_config
 
 
-def main() -> None:
+def single_run() -> None:
     scenario = figure_1b()
     print(f"Scenario: {scenario.description}\n")
 
@@ -66,6 +74,35 @@ def main() -> None:
     print(f"  termination: {result.termination}")
     print(f"  messages:    {result.messages_sent}")
     print(f"  latency:     {result.latency():.1f} (virtual time units)")
+
+
+def scenario_sweep() -> None:
+    # The canonical workflow: declare the whole matrix, run it as a suite.
+    # Every cell gets a deterministic derived seed, the static graph
+    # analysis is shared via the cache, and ``processes=N`` would run the
+    # same suite on a worker pool with identical results.
+    matrix = ScenarioMatrix(
+        name="quickstart",
+        graphs=(GraphSpec.figure("fig1b"), GraphSpec.figure("fig4b")),
+        modes=(ProtocolMode.BFT_CUP,),
+        behaviours=("silent", "crash"),
+        replicates=3,
+        base_seed=7,
+    )
+    cache = GraphAnalysisCache()
+    suite = SuiteRunner(graph_cache=cache).run(matrix.scenarios())
+
+    print(f"\nSweep: {len(suite)} runs ({matrix.name} matrix), "
+          f"solved rate {suite.solved_rate:.2f}, "
+          f"graph analyses reused {cache.hits} times\n")
+    print(suite.render(group_by="graph", title="Aggregates per graph"))
+    print()
+    print(suite.render(group_by="behaviour", title="Aggregates per adversary behaviour"))
+
+
+def main() -> None:
+    single_run()
+    scenario_sweep()
 
 
 if __name__ == "__main__":

@@ -12,16 +12,41 @@ The library implements, on top of a from-scratch discrete-event simulator:
 * the unauthenticated baseline built on reachable reliable broadcast --
   :mod:`repro.baselines`;
 * Byzantine adversary behaviours -- :mod:`repro.adversary`;
-* the experiment harness reproducing the paper's table and figures --
-  :mod:`repro.analysis` and :mod:`repro.workloads`.
+* the single-run harness and property checkers -- :mod:`repro.analysis`,
+  with scenario-to-config builders in :mod:`repro.workloads`;
+* the experiment orchestration layer -- :mod:`repro.experiments`: declarative
+  :class:`~repro.experiments.Scenario` cells, cartesian
+  :class:`~repro.experiments.ScenarioMatrix` sweeps with deterministic
+  per-cell seeding, the serial/multiprocessing
+  :class:`~repro.experiments.SuiteRunner`, per-group
+  :class:`~repro.experiments.SuiteResult` statistics with JSON/CSV export,
+  and the memoised :class:`~repro.experiments.GraphAnalysisCache`.
 
 Quickstart
 ----------
 
+The canonical workflow declares a scenario matrix and runs it as a suite
+(``processes=N`` runs the same suite on a worker pool, with identical
+results):
+
+>>> from repro.core import ProtocolMode
+>>> from repro.experiments import GraphSpec, ScenarioMatrix, SuiteRunner
+>>> matrix = ScenarioMatrix(
+...     name="quickstart",
+...     graphs=(GraphSpec.figure("fig1b"),),
+...     modes=(ProtocolMode.BFT_CUP,),
+...     behaviours=("silent",),
+...     replicates=2,
+... )
+>>> suite = SuiteRunner().run(matrix.scenarios())
+>>> suite.solved_rate
+1.0
+
+Single executions remain available through the lower-level harness:
+
 >>> from repro.graphs.figures import figure_1b
 >>> from repro.workloads import figure_run_config
 >>> from repro.analysis import run_consensus
->>> from repro.core import ProtocolMode
 >>> result = run_consensus(figure_run_config(figure_1b(), mode=ProtocolMode.BFT_CUP))
 >>> result.consensus_solved
 True
@@ -31,7 +56,7 @@ from repro.analysis import RunConfig, RunResult, run_consensus
 from repro.core import ConsensusNode, ProtocolConfig, ProtocolMode
 from repro.graphs import KnowledgeGraph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "KnowledgeGraph",

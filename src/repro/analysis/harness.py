@@ -21,6 +21,7 @@ from repro.adversary.spec import FaultSpec
 from repro.analysis.properties import ConsensusProperties, check_properties
 from repro.core.config import ProtocolConfig
 from repro.core.node import ConsensusNode
+from repro.core.seeding import derive_seed
 from repro.crypto.signatures import KeyRegistry
 from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
 from repro.sim.engine import Simulator
@@ -156,14 +157,18 @@ def run_consensus(config: RunConfig) -> RunResult:
     simulator = Simulator(max_time=config.horizon, max_events=config.max_events)
     trace = SimulationTrace()
     synchrony = config.synchrony if config.synchrony is not None else PartialSynchronyModel()
+    # Independent substreams: the network delay draws and the key material
+    # must not share a raw seed, otherwise changing how many keys are
+    # generated (or the key derivation itself) silently reshuffles the
+    # network schedule of every experiment.
     network = Network(
         simulator,
         synchrony,
         trace=trace,
-        seed=config.seed,
+        seed=derive_seed(config.seed, "network"),
         faulty=frozenset(config.faulty),
     )
-    registry = KeyRegistry(seed=config.seed)
+    registry = KeyRegistry(seed=derive_seed(config.seed, "keys"))
     nodes = build_nodes(config, simulator, network, registry, trace)
 
     correct = frozenset(config.graph.processes - set(config.faulty))

@@ -1,0 +1,46 @@
+"""The experiment orchestration layer.
+
+* :mod:`repro.experiments.scenario` -- declarative :class:`Scenario` cells,
+  :class:`GraphSpec` / :class:`SynchronySpec` references and the
+  :class:`ScenarioMatrix` cartesian sweep builder with deterministic
+  per-cell seed derivation;
+* :mod:`repro.experiments.runner` -- :class:`SuiteRunner`, executing suites
+  serially or on a ``multiprocessing`` pool with progress callbacks and
+  fail-fast / collect-all error handling;
+* :mod:`repro.experiments.results` -- :class:`SuiteResult` aggregation
+  (per-group mean/median/p95 latency, message totals, solved-rate) with
+  JSON/CSV export;
+* :mod:`repro.experiments.cache` -- :class:`GraphAnalysisCache`, memoising
+  the expensive static sink/core/connectivity analysis once per distinct
+  graph across a sweep.
+"""
+
+from repro.core.seeding import derive_seed
+from repro.experiments.cache import GraphAnalysis, GraphAnalysisCache, analyze_graph
+from repro.experiments.results import GroupStats, ScenarioOutcome, SuiteResult
+from repro.experiments.runner import SuiteExecutionError, SuiteRunner, execute_scenario
+from repro.experiments.scenario import (
+    GraphSpec,
+    Scenario,
+    ScenarioMatrix,
+    SynchronySpec,
+    chain_matrices,
+)
+
+__all__ = [
+    "GraphSpec",
+    "SynchronySpec",
+    "Scenario",
+    "ScenarioMatrix",
+    "chain_matrices",
+    "SuiteRunner",
+    "SuiteExecutionError",
+    "execute_scenario",
+    "ScenarioOutcome",
+    "GroupStats",
+    "SuiteResult",
+    "GraphAnalysis",
+    "GraphAnalysisCache",
+    "analyze_graph",
+    "derive_seed",
+]

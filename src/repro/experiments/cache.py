@@ -1,0 +1,134 @@
+"""Memoised static graph analysis for experiment sweeps.
+
+A sweep typically re-uses a handful of distinct graphs across many runs
+(seed replicates, synchrony axes, behaviour axes all share the graph).  The
+static predicate work on those graphs — building the safe subgraph,
+enumerating sinks with :func:`~repro.graphs.sink_search.find_all_sinks`,
+identifying the core, computing connectivity — is by far the most expensive
+non-simulation step, and is identical for every run over the same graph.
+
+:class:`GraphAnalysisCache` memoises a :class:`GraphAnalysis` per distinct
+:class:`~repro.experiments.scenario.GraphSpec`, so the predicates are
+evaluated once per graph per sweep instead of once per run.  The cache
+tracks hit/miss counters so benchmarks can assert it is actually exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.experiments.scenario import GraphSpec
+from repro.graphs.figures import FigureScenario
+from repro.graphs.generators import GeneratedScenario
+from repro.graphs.knowledge_graph import ProcessId
+from repro.graphs.predicates import KnowledgeView, SinkWitness
+from repro.graphs.sink_search import (
+    CoreWitness,
+    SearchOptions,
+    find_all_sinks,
+    find_core_candidate,
+)
+
+
+@dataclass(frozen=True)
+class GraphAnalysis:
+    """The memoised static analysis of one graph scenario."""
+
+    spec: GraphSpec
+    scenario: FigureScenario | GeneratedScenario
+    #: Omniscient view of the safe subgraph ``Gsafe`` (correct processes only).
+    safe_view: KnowledgeView
+    #: Every sink* witness discoverable in ``Gsafe``, strongest first.
+    sinks: tuple[SinkWitness, ...]
+    #: The core of ``Gsafe``, when one exists.
+    core: CoreWitness | None
+    undirected_connected: bool
+
+    @property
+    def graph(self):  # noqa: ANN201 - KnowledgeGraph, avoids re-import
+        return self.scenario.graph
+
+    @property
+    def faulty(self) -> frozenset[ProcessId]:
+        return self.scenario.faulty
+
+    @property
+    def strongest_sink(self) -> frozenset[ProcessId] | None:
+        """Members of the strongest discoverable sink of ``Gsafe``."""
+        return self.sinks[0].members if self.sinks else None
+
+    @property
+    def sink_connectivity(self) -> int | None:
+        """``k_Gdi`` of the strongest sink, or ``None`` without one."""
+        return self.sinks[0].connectivity if self.sinks else None
+
+    def summary(self) -> dict[str, Any]:
+        """Compact JSON-friendly digest attached to suite results."""
+        return {
+            "graph": self.spec.key,
+            "processes": len(self.scenario.graph),
+            "edges": self.scenario.graph.edge_count(),
+            "faulty": len(self.faulty),
+            "fault_threshold": self.scenario.fault_threshold,
+            "sinks_found": len(self.sinks),
+            "strongest_sink_size": len(self.strongest_sink) if self.strongest_sink else 0,
+            "sink_connectivity": self.sink_connectivity,
+            "core_size": len(self.core.members) if self.core is not None else 0,
+            "undirected_connected": self.undirected_connected,
+        }
+
+
+def analyze_graph(spec: GraphSpec, options: SearchOptions | None = None) -> GraphAnalysis:
+    """Run the full (uncached) static analysis of one graph spec."""
+    scenario = spec.build()
+    safe = scenario.graph.safe_subgraph(scenario.faulty)
+    view = KnowledgeView.full(safe)
+    sinks = tuple(find_all_sinks(view, options))
+    core = find_core_candidate(view, options)
+    return GraphAnalysis(
+        spec=spec,
+        scenario=scenario,
+        safe_view=view,
+        sinks=sinks,
+        core=core,
+        undirected_connected=scenario.graph.is_undirected_connected(),
+    )
+
+
+class GraphAnalysisCache:
+    """Memoises :func:`analyze_graph` per (spec, search options)."""
+
+    def __init__(self, options: SearchOptions | None = None) -> None:
+        self.options = options
+        self._entries: dict[GraphSpec, GraphAnalysis] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def analysis(self, spec: GraphSpec) -> GraphAnalysis:
+        """Return the analysis for ``spec``, computing it at most once."""
+        entry = self._entries.get(spec)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        entry = analyze_graph(spec, self.options)
+        self._entries[spec] = entry
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, spec: GraphSpec) -> bool:
+        return spec in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+
+__all__ = ["GraphAnalysis", "GraphAnalysisCache", "analyze_graph"]

@@ -1,0 +1,298 @@
+"""Suite-level result aggregation and export.
+
+A :class:`SuiteResult` collects one :class:`ScenarioOutcome` per executed
+scenario (in scenario order, independent of execution order) and offers:
+
+* per-group statistics — mean/median/p95 latency, message totals and
+  solved-rate, grouped by any axis label of the scenarios;
+* uniform JSON / CSV export, so every benchmark's ``BENCH_*.json``
+  trajectory is produced by the same code path;
+* plain-text rendering through :func:`repro.analysis.tables.render_table`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.tables import render_table
+from repro.experiments.scenario import Scenario
+
+GroupKey = Callable[[Scenario], Any]
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty sequence."""
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def _group_order(key: Any) -> tuple[int, Any]:
+    """Sort numeric group keys numerically, everything else by repr.
+
+    A plain ``repr`` sort would order ``0, 1, 10, 2`` and scramble
+    monotonic axes (GST sweeps, replicate counts) in reports and exports.
+    """
+    if isinstance(key, bool) or not isinstance(key, (int, float)):
+        return (1, repr(key))
+    return (0, key)
+
+
+@dataclass
+class ScenarioOutcome:
+    """Result of executing one scenario (or the error that prevented it)."""
+
+    scenario: Scenario
+    #: Exactly ``RunResult.summary()`` for the default executor, or whatever
+    #: dictionary a custom executor returned.
+    summary: dict[str, Any] | None
+    error: str | None = None
+    #: Wall-clock seconds spent executing the scenario.
+    wall_time: float = 0.0
+    #: Digest of the memoised static graph analysis, when a cache was used.
+    graph_analysis: dict[str, Any] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def solved(self) -> bool:
+        """Consensus solved: terminated with agreement and validity."""
+        if self.summary is None:
+            return False
+        return bool(
+            self.summary.get("terminated")
+            and self.summary.get("agreement")
+            and self.summary.get("validity")
+        )
+
+    def metric(self, name: str) -> Any:
+        return None if self.summary is None else self.summary.get(name)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "summary": self.summary,
+            "error": self.error,
+            "solved": self.solved,
+            "wall_time": self.wall_time,
+            "graph_analysis": self.graph_analysis,
+        }
+
+
+@dataclass
+class GroupStats:
+    """Aggregate statistics over the outcomes sharing one group key."""
+
+    key: Any
+    runs: int = 0
+    errors: int = 0
+    solved: int = 0
+    total_messages: int = 0
+    #: Number of outcomes that actually reported a numeric ``messages``
+    #: metric; distinguishes "zero messages" from "metric not reported".
+    message_observations: int = 0
+    latencies: list[float] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    def observe(self, outcome: ScenarioOutcome) -> None:
+        self.runs += 1
+        self.wall_time += outcome.wall_time
+        if not outcome.ok:
+            self.errors += 1
+            return
+        if outcome.solved:
+            self.solved += 1
+        messages = outcome.metric("messages")
+        if isinstance(messages, (int, float)):
+            self.total_messages += int(messages)
+            self.message_observations += 1
+        latency = outcome.metric("latency")
+        if isinstance(latency, (int, float)):
+            self.latencies.append(float(latency))
+
+    @property
+    def solved_rate(self) -> float:
+        return self.solved / self.runs if self.runs else 0.0
+
+    @property
+    def mean_latency(self) -> float | None:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else None
+
+    @property
+    def median_latency(self) -> float | None:
+        return _percentile(sorted(self.latencies), 0.5) if self.latencies else None
+
+    @property
+    def p95_latency(self) -> float | None:
+        return _percentile(sorted(self.latencies), 0.95) if self.latencies else None
+
+    @property
+    def mean_messages(self) -> float | None:
+        if not self.message_observations:
+            return None
+        return self.total_messages / self.message_observations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "runs": self.runs,
+            "errors": self.errors,
+            "solved": self.solved,
+            "solved_rate": self.solved_rate,
+            "total_messages": self.total_messages,
+            "mean_messages": self.mean_messages,
+            "mean_latency": self.mean_latency,
+            "median_latency": self.median_latency,
+            "p95_latency": self.p95_latency,
+            "wall_time": self.wall_time,
+        }
+
+
+class SuiteResult:
+    """Every outcome of one suite execution, plus aggregation and export."""
+
+    def __init__(
+        self,
+        outcomes: list[ScenarioOutcome],
+        *,
+        wall_time: float = 0.0,
+        processes: int = 1,
+        cache_stats: dict[str, int] | None = None,
+    ) -> None:
+        self.outcomes = outcomes
+        self.wall_time = wall_time
+        self.processes = processes
+        self.cache_stats = cache_stats
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    # Aggregation -----------------------------------------------------------
+    @property
+    def errors(self) -> list[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def solved_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for outcome in self.outcomes if outcome.solved) / len(self.outcomes)
+
+    def summaries(self) -> list[dict[str, Any] | None]:
+        """The per-scenario summary dicts, in scenario order."""
+        return [outcome.summary for outcome in self.outcomes]
+
+    def group_stats(self, group_by: str | GroupKey = "matrix") -> dict[Any, GroupStats]:
+        """Aggregate outcomes per group.
+
+        ``group_by`` is either an axis-label name recorded by the matrix
+        (``"mode"``, ``"graph"``, ``"behaviour"``, ``"synchrony"``, ...) or
+        a callable mapping a scenario to an arbitrary hashable key.
+        """
+        if callable(group_by):
+            key_of: GroupKey = group_by
+        else:
+            label = group_by
+            key_of = lambda scenario: scenario.label(label)  # noqa: E731
+        groups: dict[Any, GroupStats] = {}
+        for outcome in self.outcomes:
+            key = key_of(outcome.scenario)
+            stats = groups.get(key)
+            if stats is None:
+                stats = groups[key] = GroupStats(key=key)
+            stats.observe(outcome)
+        return groups
+
+    # Export ----------------------------------------------------------------
+    def to_dict(self, *, group_by: str | GroupKey | None = "matrix") -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "runs": len(self.outcomes),
+            "errors": len(self.errors),
+            "solved_rate": self.solved_rate,
+            "wall_time": self.wall_time,
+            "processes": self.processes,
+            "cache": self.cache_stats,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+        if group_by is not None:
+            payload["groups"] = [
+                stats.to_dict() for _key, stats in sorted(
+                    self.group_stats(group_by).items(), key=lambda item: _group_order(item[0])
+                )
+            ]
+        return payload
+
+    def to_json(self, path: str | Path | None = None, **kwargs: Any) -> str:
+        """Serialise the suite to JSON (optionally writing it to ``path``)."""
+        text = json.dumps(self.to_dict(**kwargs), indent=2, default=repr)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write one CSV row per scenario outcome."""
+        label_names: list[str] = []
+        for outcome in self.outcomes:
+            for name, _value in outcome.scenario.labels:
+                if name not in label_names:
+                    label_names.append(name)
+        metric_names: list[str] = []
+        for outcome in self.outcomes:
+            for name in outcome.summary or {}:
+                if name not in metric_names:
+                    metric_names.append(name)
+        header = ["name", "seed", *label_names, *metric_names, "solved", "wall_time", "error"]
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            for outcome in self.outcomes:
+                scenario = outcome.scenario
+                row: list[Any] = [scenario.name, scenario.seed]
+                row.extend(scenario.label(name) for name in label_names)
+                summary = outcome.summary or {}
+                row.extend(summary.get(name) for name in metric_names)
+                row.extend([outcome.solved, outcome.wall_time, outcome.error])
+                writer.writerow(row)
+
+    def render(
+        self,
+        group_by: str | GroupKey = "matrix",
+        *,
+        title: str | None = None,
+    ) -> str:
+        """Render the per-group statistics as a plain-text table."""
+        rows = []
+        for key, stats in sorted(self.group_stats(group_by).items(), key=lambda i: _group_order(i[0])):
+            rows.append(
+                [
+                    key,
+                    stats.runs,
+                    f"{stats.solved_rate:.2f}",
+                    stats.total_messages,
+                    _fmt(stats.mean_latency),
+                    _fmt(stats.median_latency),
+                    _fmt(stats.p95_latency),
+                ]
+            )
+        table = render_table(
+            ["group", "runs", "solved", "messages", "mean lat", "median lat", "p95 lat"],
+            rows,
+        )
+        return table if title is None else f"{title}\n{table}"
+
+
+def _fmt(value: float | None) -> str:
+    return "-" if value is None else f"{value:.1f}"
+
+
+__all__ = ["ScenarioOutcome", "GroupStats", "SuiteResult"]

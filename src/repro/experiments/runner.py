@@ -1,0 +1,184 @@
+"""Serial and multiprocessing execution of scenario suites.
+
+The runner is the only component that materialises scenarios: it turns each
+declarative :class:`~repro.experiments.scenario.Scenario` into a
+:class:`~repro.analysis.harness.RunConfig` (graph, nodes, network, keys)
+*inside the executing process*, so scenarios cross the pool boundary as
+plain data and the per-run construction never needs to be pickled.
+
+Execution is deterministic: results are collected in scenario order and the
+per-scenario summaries are identical between the serial and the pool paths
+(each run is self-contained and fully seeded by its scenario).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
+
+from repro.experiments.cache import GraphAnalysisCache
+from repro.experiments.results import ScenarioOutcome, SuiteResult
+from repro.experiments.scenario import Scenario
+
+#: An executor maps one scenario to its summary dictionary.  It must be a
+#: picklable callable (a module-level function) when running on a pool.
+Executor = Callable[[Scenario], dict[str, Any]]
+
+#: Progress callbacks receive (completed, total, outcome).
+ProgressCallback = Callable[[int, int, ScenarioOutcome], None]
+
+
+class SuiteExecutionError(RuntimeError):
+    """Raised in fail-fast mode when a scenario execution fails."""
+
+    def __init__(self, scenario: Scenario, error: str) -> None:
+        super().__init__(f"scenario {scenario.name!r} failed: {error}")
+        self.scenario = scenario
+        self.error = error
+
+
+def execute_scenario(scenario: Scenario) -> dict[str, Any]:
+    """Default executor: build the run config, simulate, return the summary.
+
+    The returned dictionary is exactly ``RunResult.summary()``, which keeps
+    serial and pool executions byte-identical.
+    """
+    from repro.analysis.harness import run_consensus
+    from repro.workloads.builders import scenario_run_config
+
+    config = scenario_run_config(scenario)
+    return run_consensus(config).summary()
+
+
+def _execute_cell(payload: tuple[int, Scenario, Executor]) -> tuple[int, dict[str, Any] | None, str | None, float]:
+    """Pool entry point: run one scenario, never raise across the boundary."""
+    index, scenario, executor = payload
+    started = time.perf_counter()
+    try:
+        summary = executor(scenario)
+        return index, summary, None, time.perf_counter() - started
+    except Exception:
+        return index, None, traceback.format_exc(limit=8), time.perf_counter() - started
+
+
+class SuiteRunner:
+    """Execute a list of scenarios serially or on a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    processes:
+        ``None`` or ``1`` runs serially in-process; ``N > 1`` runs on a pool
+        of ``N`` worker processes.
+    executor:
+        The per-scenario executor (default: :func:`execute_scenario`, which
+        runs the full consensus simulation).  Custom executors let suites
+        drive other harnesses (e.g. the discovery-only baselines) through
+        the same matrix/aggregation machinery.
+    fail_fast:
+        When true, the first failing scenario raises
+        :class:`SuiteExecutionError` (the pool is terminated); otherwise
+        failures are collected as error outcomes and the suite completes.
+    graph_cache:
+        Optional :class:`GraphAnalysisCache`.  When provided, the runner
+        resolves the memoised static analysis of every scenario's graph (in
+        the parent process, once per distinct graph spec) and attaches its
+        digest to the outcome.
+    progress:
+        Optional callback invoked after every completed scenario with
+        ``(completed, total, outcome)``, in completion order.
+    """
+
+    def __init__(
+        self,
+        *,
+        processes: int | None = None,
+        executor: Executor = execute_scenario,
+        fail_fast: bool = False,
+        graph_cache: GraphAnalysisCache | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be at least 1")
+        self.processes = processes
+        self.executor = executor
+        self.fail_fast = fail_fast
+        self.graph_cache = graph_cache
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, scenarios: Iterable[Scenario]) -> SuiteResult:
+        """Execute every scenario and return the aggregated suite result."""
+        cells = list(scenarios)
+        started = time.perf_counter()
+        if self.processes is None or self.processes == 1:
+            outcomes = self._run_serial(cells)
+            processes = 1
+        else:
+            outcomes = self._run_pool(cells)
+            processes = self.processes
+        return SuiteResult(
+            outcomes,
+            wall_time=time.perf_counter() - started,
+            processes=processes,
+            cache_stats=self.graph_cache.stats() if self.graph_cache is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        index: int,
+        total: int,
+        scenario: Scenario,
+        summary: dict[str, Any] | None,
+        error: str | None,
+        wall: float,
+        completed: int,
+    ) -> ScenarioOutcome:
+        if error is not None and self.fail_fast:
+            raise SuiteExecutionError(scenario, error)
+        outcome = ScenarioOutcome(
+            scenario=scenario,
+            summary=summary,
+            error=error,
+            wall_time=wall,
+            graph_analysis=self._analysis_digest(scenario),
+        )
+        if self.progress is not None:
+            self.progress(completed, total, outcome)
+        return outcome
+
+    def _analysis_digest(self, scenario: Scenario) -> dict[str, Any] | None:
+        if self.graph_cache is None:
+            return None
+        return self.graph_cache.analysis(scenario.graph).summary()
+
+    def _run_serial(self, cells: Sequence[Scenario]) -> list[ScenarioOutcome]:
+        outcomes: list[ScenarioOutcome] = []
+        for index, scenario in enumerate(cells):
+            _index, summary, error, wall = _execute_cell((index, scenario, self.executor))
+            outcomes.append(
+                self._finish(index, len(cells), scenario, summary, error, wall, len(outcomes) + 1)
+            )
+        return outcomes
+
+    def _run_pool(self, cells: Sequence[Scenario]) -> list[ScenarioOutcome]:
+        outcomes: list[ScenarioOutcome | None] = [None] * len(cells)
+        payloads = [(index, scenario, self.executor) for index, scenario in enumerate(cells)]
+        completed = 0
+        with multiprocessing.Pool(processes=self.processes) as pool:
+            try:
+                for index, summary, error, wall in pool.imap_unordered(_execute_cell, payloads):
+                    completed += 1
+                    outcomes[index] = self._finish(
+                        index, len(cells), cells[index], summary, error, wall, completed
+                    )
+            except SuiteExecutionError:
+                pool.terminate()
+                raise
+        return [outcome for outcome in outcomes if outcome is not None]
+
+
+__all__ = ["SuiteRunner", "SuiteExecutionError", "execute_scenario"]

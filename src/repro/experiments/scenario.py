@@ -1,0 +1,328 @@
+"""Declarative scenarios and sweep matrices.
+
+The paper's evidence is a *matrix* of executions: protocol mode × graph
+family × adversary behaviour × synchrony model × seed.  This module gives
+that matrix a first-class, fully declarative representation:
+
+* :class:`GraphSpec` names a knowledge-connectivity-graph source (a paper
+  figure or a generator family plus its parameters) without building it —
+  specs are hashable, picklable and serve as the key of the graph-analysis
+  cache;
+* :class:`SynchronySpec` does the same for the synchrony models;
+* :class:`Scenario` bundles one complete cell: graph, protocol mode, fault
+  behaviour, synchrony, seed, horizon and protocol options;
+* :class:`ScenarioMatrix` expands cartesian products over all axes with
+  deterministic per-cell seed derivation (via
+  :func:`repro.core.seeding.derive_seed`), so the same matrix always
+  expands to byte-identical scenario lists in any process.
+
+Everything here is plain data: the expensive objects (graphs, synchrony
+models, run configs, nodes) are only materialised behind the runner, which
+is what makes scenarios safe to ship to a ``multiprocessing`` pool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Any
+
+from repro.core.config import ProtocolMode
+from repro.core.seeding import derive_seed
+from repro.graphs.figures import FigureScenario, paper_figures
+from repro.graphs.generators import (
+    GeneratedScenario,
+    generate_bft_cup_graph,
+    generate_bft_cupft_graph,
+    generate_split_brain_graph,
+)
+from repro.sim.network import (
+    AsynchronousModel,
+    PartialSynchronyModel,
+    SynchronousModel,
+    SynchronyModel,
+)
+
+Params = tuple[tuple[str, Any], ...]
+
+
+def _freeze_params(params: Mapping[str, Any]) -> Params:
+    """Canonicalise a keyword mapping into a sorted, hashable tuple."""
+    return tuple(sorted(params.items()))
+
+
+def _format_params(params: Params) -> str:
+    return ",".join(f"{name}={value!r}" for name, value in params)
+
+
+#: Generator families understood by :meth:`GraphSpec.build`.
+_GRAPH_FAMILIES = {
+    "bft_cup": generate_bft_cup_graph,
+    "bft_cupft": generate_bft_cupft_graph,
+    "split_brain": generate_split_brain_graph,
+}
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Declarative reference to a knowledge connectivity graph.
+
+    ``family`` is either ``"figure"`` (with a ``name`` parameter naming one
+    of the :func:`repro.graphs.figures.paper_figures` reconstructions) or a
+    generator family from :mod:`repro.graphs.generators`.
+    """
+
+    family: str
+    params: Params = ()
+
+    # Constructors ----------------------------------------------------------
+    @classmethod
+    def figure(cls, name: str) -> "GraphSpec":
+        """Reference a paper-figure reconstruction (``"fig1b"``, ``"fig4b"``, ...)."""
+        return cls(family="figure", params=(("name", name),))
+
+    @classmethod
+    def bft_cup(cls, **params: Any) -> "GraphSpec":
+        """Reference :func:`~repro.graphs.generators.generate_bft_cup_graph`."""
+        return cls(family="bft_cup", params=_freeze_params(params))
+
+    @classmethod
+    def bft_cupft(cls, **params: Any) -> "GraphSpec":
+        """Reference :func:`~repro.graphs.generators.generate_bft_cupft_graph`."""
+        return cls(family="bft_cupft", params=_freeze_params(params))
+
+    @classmethod
+    def split_brain(cls, **params: Any) -> "GraphSpec":
+        """Reference :func:`~repro.graphs.generators.generate_split_brain_graph`."""
+        return cls(family="split_brain", params=_freeze_params(params))
+
+    @classmethod
+    def sweep(cls, family: str, **axes: Iterable[Any]) -> tuple["GraphSpec", ...]:
+        """Cartesian product over generator parameters.
+
+        >>> GraphSpec.sweep("bft_cup", f=[1, 2], non_sink_size=[4, 8])
+        ... # doctest: +SKIP
+        """
+        names = sorted(axes)
+        specs = []
+        for values in product(*(tuple(axes[name]) for name in names)):
+            specs.append(cls(family=family, params=_freeze_params(dict(zip(names, values)))))
+        return tuple(specs)
+
+    # Introspection ---------------------------------------------------------
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity, used for seeds, caches and reports."""
+        return f"{self.family}({_format_params(self.params)})"
+
+    def parameters(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def build(self) -> FigureScenario | GeneratedScenario:
+        """Materialise the graph scenario (deterministic for a given spec)."""
+        params = self.parameters()
+        if self.family == "figure":
+            name = params["name"]
+            figures = paper_figures()
+            if name not in figures:
+                raise KeyError(f"unknown figure {name!r}; available: {sorted(figures)}")
+            return figures[name]
+        generator = _GRAPH_FAMILIES.get(self.family)
+        if generator is None:
+            raise KeyError(
+                f"unknown graph family {self.family!r}; "
+                f"available: {sorted(_GRAPH_FAMILIES) + ['figure']}"
+            )
+        return generator(**params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"family": self.family, "params": {k: v for k, v in self.params}}
+
+
+#: Synchrony model families understood by :meth:`SynchronySpec.build`.
+_SYNCHRONY_FAMILIES = {
+    "synchronous": SynchronousModel,
+    "partial": PartialSynchronyModel,
+    "asynchronous": AsynchronousModel,
+}
+
+
+@dataclass(frozen=True)
+class SynchronySpec:
+    """Declarative reference to a synchrony model."""
+
+    kind: str = "partial"
+    params: Params = ()
+
+    @classmethod
+    def synchronous(cls, **params: Any) -> "SynchronySpec":
+        return cls(kind="synchronous", params=_freeze_params(params))
+
+    @classmethod
+    def partial(cls, **params: Any) -> "SynchronySpec":
+        return cls(kind="partial", params=_freeze_params(params))
+
+    @classmethod
+    def asynchronous(cls, **params: Any) -> "SynchronySpec":
+        return cls(kind="asynchronous", params=_freeze_params(params))
+
+    @property
+    def key(self) -> str:
+        return f"{self.kind}({_format_params(self.params)})"
+
+    def parameters(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def build(self) -> SynchronyModel:
+        model = _SYNCHRONY_FAMILIES.get(self.kind)
+        if model is None:
+            raise KeyError(
+                f"unknown synchrony kind {self.kind!r}; available: {sorted(_SYNCHRONY_FAMILIES)}"
+            )
+        return model(**self.parameters())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": {k: v for k, v in self.params}}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified experiment cell.
+
+    A scenario is declarative and picklable; the runner materialises the
+    graph, synchrony model, protocol config and nodes from it (in the worker
+    process when running on a pool).
+    """
+
+    name: str
+    graph: GraphSpec
+    mode: ProtocolMode = ProtocolMode.BFT_CUPFT
+    behaviour: str = "silent"
+    synchrony: SynchronySpec = SynchronySpec(kind="partial")
+    seed: int = 0
+    horizon: float = 5_000.0
+    #: Extra keyword arguments forwarded to the :class:`ProtocolConfig`
+    #: constructor (e.g. ``(("quorum_rule", QuorumRule.CLASSIC),)``).
+    protocol_options: Params = ()
+    #: Axis coordinates attached by the matrix (used for grouping/reporting).
+    labels: Params = ()
+
+    def label(self, key: str, default: Any = None) -> Any:
+        """Look up one axis coordinate recorded by the matrix."""
+        for name, value in self.labels:
+            if name == key:
+                return value
+        return default
+
+    def with_labels(self, **extra: Any) -> "Scenario":
+        """Return a copy with additional axis labels."""
+        return replace(self, labels=self.labels + _freeze_params(extra))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (used by the suite exports)."""
+        return {
+            "name": self.name,
+            "graph": self.graph.to_dict(),
+            "mode": self.mode.value,
+            "behaviour": self.behaviour,
+            "synchrony": self.synchrony.to_dict(),
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "protocol_options": {name: repr(value) for name, value in self.protocol_options},
+            "labels": {name: value for name, value in self.labels},
+        }
+
+
+@dataclass
+class ScenarioMatrix:
+    """Cartesian sweep builder over every experiment axis.
+
+    The expansion order is deterministic (graphs × modes × behaviours ×
+    synchrony × replicate), and every cell's run seed is derived from the
+    matrix ``base_seed`` and the cell's coordinates with
+    :func:`~repro.core.seeding.derive_seed` — so two expansions of an equal
+    matrix (in any process) produce identical scenario lists, while distinct
+    cells get statistically independent seeds.
+    """
+
+    name: str
+    graphs: tuple[GraphSpec, ...]
+    modes: tuple[ProtocolMode, ...] = (ProtocolMode.BFT_CUPFT,)
+    behaviours: tuple[str, ...] = ("silent",)
+    synchrony: tuple[SynchronySpec, ...] = (SynchronySpec(kind="partial"),)
+    #: Number of seed replicates per cell.
+    replicates: int = 1
+    base_seed: int = 0
+    horizon: float = 5_000.0
+    protocol_options: Params = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.graphs = tuple(self.graphs)
+        self.modes = tuple(self.modes)
+        self.behaviours = tuple(self.behaviours)
+        self.synchrony = tuple(self.synchrony)
+        self.protocol_options = tuple(self.protocol_options)
+        if self.replicates < 1:
+            raise ValueError("replicates must be at least 1")
+        if not self.graphs:
+            raise ValueError("a matrix needs at least one graph spec")
+
+    def __len__(self) -> int:
+        return (
+            len(self.graphs)
+            * len(self.modes)
+            * len(self.behaviours)
+            * len(self.synchrony)
+            * self.replicates
+        )
+
+    def scenarios(self) -> list[Scenario]:
+        """Expand the matrix into its deterministic scenario list."""
+        cells: list[Scenario] = []
+        for graph, mode, behaviour, synchrony in product(
+            self.graphs, self.modes, self.behaviours, self.synchrony
+        ):
+            for replicate in range(self.replicates):
+                coordinates = (graph.key, mode.value, behaviour, synchrony.key, replicate)
+                seed = derive_seed(self.base_seed, *coordinates)
+                cells.append(
+                    Scenario(
+                        name=f"{self.name}[{'|'.join(map(str, coordinates))}]",
+                        graph=graph,
+                        mode=mode,
+                        behaviour=behaviour,
+                        synchrony=synchrony,
+                        seed=seed,
+                        horizon=self.horizon,
+                        protocol_options=self.protocol_options,
+                        labels=_freeze_params(
+                            {
+                                "matrix": self.name,
+                                "graph": graph.key,
+                                "mode": mode.value,
+                                "behaviour": behaviour,
+                                "synchrony": synchrony.key,
+                                "replicate": replicate,
+                            }
+                        ),
+                    )
+                )
+        return cells
+
+
+def chain_matrices(*matrices: ScenarioMatrix) -> list[Scenario]:
+    """Concatenate the expansions of several matrices (e.g. one per mode)."""
+    scenarios: list[Scenario] = []
+    for matrix in matrices:
+        scenarios.extend(matrix.scenarios())
+    return scenarios
+
+
+__all__ = [
+    "GraphSpec",
+    "SynchronySpec",
+    "Scenario",
+    "ScenarioMatrix",
+    "chain_matrices",
+]

@@ -26,20 +26,29 @@ class _ScheduledEvent:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the event has been popped from the queue (executed or
+    #: discarded), so late ``cancel()`` calls do not skew the counter of
+    #: cancelled-but-still-queued events.
+    done: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`, allowing cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_simulator")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, simulator: "Simulator") -> None:
         self._event = event
+        self._simulator = simulator
 
     def cancel(self) -> None:
         """Cancel the event (no-op if it already ran)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.done:
+            return
+        event.cancelled = True
+        self._simulator._on_cancelled()
 
     @property
     def time(self) -> float:
@@ -67,6 +76,10 @@ class Simulator:
         livelock in buggy protocols or adversarial schedules).
     """
 
+    #: Queues shorter than this are never compacted: rebuilding a tiny heap
+    #: costs more than carrying its dead entries.
+    COMPACTION_MIN_QUEUE = 64
+
     def __init__(self, max_time: float = 1_000_000.0, max_events: int = 5_000_000) -> None:
         self.max_time = max_time
         self.max_events = max_events
@@ -75,6 +88,8 @@ class Simulator:
         self._now = 0.0
         self._processed_events = 0
         self._stopped = False
+        self._cancelled_in_queue = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # clock and scheduling
@@ -101,11 +116,42 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
         event = _ScheduledEvent(time=time, sequence=next(self._sequence), callback=callback, label=label)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def stop(self) -> None:
         """Stop the run after the current event finishes."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # cancelled-event bookkeeping
+    # ------------------------------------------------------------------
+    def _on_cancelled(self) -> None:
+        """Account for a cancellation and compact the heap when it is mostly dead.
+
+        Long adversarial runs cancel many timers (view changes, discovery
+        re-requests); without compaction those dead entries stay in the heap
+        until their virtual deadline, inflating both memory and the cost of
+        every push/pop.  Once more than half the queue is cancelled the live
+        events are rebuilt into a fresh heap, which is amortised O(1) per
+        cancellation.
+        """
+        self._cancelled_in_queue += 1
+        if (
+            len(self._queue) >= self.COMPACTION_MIN_QUEUE
+            and 2 * self._cancelled_in_queue >= len(self._queue)
+        ):
+            for event in self._queue:
+                if event.cancelled:
+                    event.done = True
+            self._queue = [event for event in self._queue if not event.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_in_queue = 0
+            self._compactions += 1
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed (for tests and diagnostics)."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # execution
@@ -115,9 +161,13 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                event.done = True
+                self._cancelled_in_queue -= 1
                 continue
             if event.time > self.max_time:
+                event.done = True
                 return False
+            event.done = True
             self._now = event.time
             self._processed_events += 1
             event.callback()
@@ -159,5 +209,9 @@ class Simulator:
                 return satisfied
 
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled placeholders)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): the queue tracks how many of its entries are cancelled
+        placeholders awaiting compaction.
+        """
+        return len(self._queue) - self._cancelled_in_queue

@@ -1,9 +1,15 @@
 """Workload builders: turn graph scenarios into runnable experiment configs."""
 
 from repro.workloads.builders import (
+    default_fault_spec,
     figure_run_config,
     generated_run_config,
-    default_fault_spec,
+    scenario_run_config,
 )
 
-__all__ = ["figure_run_config", "generated_run_config", "default_fault_spec"]
+__all__ = [
+    "figure_run_config",
+    "generated_run_config",
+    "scenario_run_config",
+    "default_fault_spec",
+]

@@ -1,15 +1,19 @@
 """Builders that turn graph scenarios into :class:`~repro.analysis.harness.RunConfig`.
 
-A scenario (a reconstructed paper figure or a generated random graph) fixes
-the knowledge connectivity graph, the fault assignment and the fault
-threshold; the builders below add the remaining run parameters: which
-protocol mode to use, how the faulty processes behave, the synchrony model
-and the proposals.
+A scenario (a reconstructed paper figure, a generated random graph, or a
+declarative :class:`~repro.experiments.scenario.Scenario` cell) fixes the
+knowledge connectivity graph, the fault assignment and the fault threshold;
+the builders below add the remaining run parameters: which protocol mode to
+use, how the faulty processes behave, the synchrony model and the proposals.
+
+:func:`scenario_run_config` is the bridge used by the experiment suite
+runner: it materialises a declarative scenario into a concrete run config
+inside the executing process, which is what keeps scenarios picklable.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.adversary.spec import FaultSpec
 from repro.analysis.harness import RunConfig
@@ -18,6 +22,9 @@ from repro.graphs.figures import FigureScenario
 from repro.graphs.generators import GeneratedScenario
 from repro.graphs.knowledge_graph import ProcessId
 from repro.sim.network import PartialSynchronyModel, SynchronyModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.scenario import Scenario
 
 
 def default_fault_spec(behaviour: str, scenario_graph_processes: frozenset[ProcessId]) -> FaultSpec:
@@ -67,6 +74,32 @@ def figure_run_config(
         synchrony=synchrony if synchrony is not None else PartialSynchronyModel(),
         seed=seed,
         horizon=horizon,
+    )
+
+
+def scenario_run_config(scenario: "Scenario") -> RunConfig:
+    """Materialise a declarative experiment scenario into a :class:`RunConfig`.
+
+    The graph, synchrony model and protocol configuration are all built
+    here, from the scenario's declarative specs — never shipped across
+    process boundaries — so the suite runner can execute the same scenario
+    identically in-process or on a worker.
+    """
+    built = scenario.graph.build()
+    faulty = {
+        process: default_fault_spec(scenario.behaviour, built.graph.processes)
+        for process in built.faulty
+    }
+    protocol = _protocol_for(
+        scenario.mode, built.fault_threshold, **dict(scenario.protocol_options)
+    )
+    return RunConfig(
+        graph=built.graph,
+        protocol=protocol,
+        faulty=faulty,
+        synchrony=scenario.synchrony.build(),
+        seed=scenario.seed,
+        horizon=scenario.horizon,
     )
 
 

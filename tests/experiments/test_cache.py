@@ -1,0 +1,63 @@
+"""Tests for the memoised graph-analysis cache."""
+
+from repro.experiments import GraphAnalysisCache, GraphSpec, ScenarioMatrix, SuiteRunner
+from repro.graphs.figures import figure_1b
+
+
+class TestGraphAnalysisCache:
+    def test_miss_then_hits_return_same_object(self):
+        cache = GraphAnalysisCache()
+        spec = GraphSpec.figure("fig1b")
+        first = cache.analysis(spec)
+        second = cache.analysis(spec)
+        assert first is second
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_distinct_specs_are_distinct_entries(self):
+        cache = GraphAnalysisCache()
+        cache.analysis(GraphSpec.figure("fig1b"))
+        cache.analysis(GraphSpec.figure("fig4b"))
+        assert cache.stats() == {"hits": 0, "misses": 2, "entries": 2}
+        assert GraphSpec.figure("fig1b") in cache
+
+    def test_equal_specs_share_the_entry(self):
+        cache = GraphAnalysisCache()
+        cache.analysis(GraphSpec.bft_cup(f=1, seed=0))
+        cache.analysis(GraphSpec.bft_cup(seed=0, f=1))
+        assert cache.hits == 1
+
+    def test_analysis_matches_ground_truth(self):
+        cache = GraphAnalysisCache()
+        analysis = cache.analysis(GraphSpec.figure("fig1b"))
+        scenario = figure_1b()
+        assert analysis.strongest_sink == scenario.expected_safe_sink
+        assert analysis.faulty == scenario.faulty
+        assert analysis.undirected_connected
+        summary = analysis.summary()
+        assert summary["processes"] == len(scenario.graph)
+        assert summary["fault_threshold"] == scenario.fault_threshold
+
+    def test_core_identified_on_cupft_graph(self):
+        cache = GraphAnalysisCache()
+        analysis = cache.analysis(GraphSpec.bft_cupft(f=1, non_core_size=2, seed=0))
+        assert analysis.core is not None
+        assert analysis.core.members == analysis.scenario.core_of_safe_graph
+
+    def test_clear_resets_counters(self):
+        cache = GraphAnalysisCache()
+        cache.analysis(GraphSpec.figure("fig1b"))
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_runner_exercises_cache_across_replicates(self):
+        # Two replicates of the same graph: one miss, then hits on the
+        # repeated graph — the expensive predicates run once per graph.
+        matrix = ScenarioMatrix(
+            name="cached", graphs=(GraphSpec.figure("fig1b"),), replicates=2, base_seed=5
+        )
+        cache = GraphAnalysisCache()
+        suite = SuiteRunner(graph_cache=cache).run(matrix.scenarios())
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert all(outcome.graph_analysis is not None for outcome in suite)
+        assert suite.cache_stats == cache.stats()

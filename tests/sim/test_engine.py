@@ -131,3 +131,75 @@ class TestRunControl:
         simulator.schedule(2.0, lambda: None)
         handle.cancel()
         assert simulator.pending_events() == 1
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        simulator = Simulator()
+        handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        # More than half the queue was dead: the heap must have been rebuilt
+        # with only the live events.
+        assert simulator.compactions >= 1
+        assert simulator.pending_events() == 50
+        assert len(simulator._queue) == 50
+
+    def test_small_queues_are_not_compacted(self):
+        simulator = Simulator()
+        handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert simulator.compactions == 0
+        assert simulator.pending_events() == 0
+
+    def test_compaction_preserves_execution_order(self):
+        simulator = Simulator()
+        seen = []
+        keep = []
+        cancel = []
+        for i in range(200):
+            delay = float(i + 1)
+            if i % 4 == 0:
+                keep.append(delay)
+                simulator.schedule(delay, lambda d=delay: seen.append(d))
+            else:
+                cancel.append(simulator.schedule(delay, lambda: seen.append("dead")))
+        for handle in cancel:
+            handle.cancel()
+        assert simulator.compactions >= 1
+        simulator.run()
+        assert seen == keep
+
+    def test_double_cancel_does_not_skew_the_counter(self):
+        simulator = Simulator()
+        handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for handle in handles[:30]:
+            handle.cancel()
+            handle.cancel()  # idempotent
+        assert simulator.pending_events() == 70
+
+    def test_cancel_after_execution_is_a_noop(self):
+        simulator = Simulator()
+        seen = []
+        handle = simulator.schedule(1.0, lambda: seen.append("ran"))
+        simulator.schedule(2.0, lambda: None)
+        simulator.run()
+        handle.cancel()
+        assert seen == ["ran"]
+        assert simulator.pending_events() == 0
+
+    def test_cancellation_interleaved_with_execution(self):
+        simulator = Simulator()
+        seen = []
+        late = [simulator.schedule(100.0 + i, lambda: seen.append("late")) for i in range(100)]
+
+        def cancel_late():
+            for handle in late:
+                handle.cancel()
+            seen.append("cancelled-late")
+
+        simulator.schedule(1.0, cancel_late)
+        simulator.run()
+        assert seen == ["cancelled-late"]
+        assert simulator.pending_events() == 0
