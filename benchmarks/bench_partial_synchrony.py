@@ -36,8 +36,9 @@ def _sweep():
     return SuiteRunner().run(synchrony_matrix().scenarios())
 
 
-def test_partial_synchrony_sensitivity(benchmark, experiment_report):
+def test_partial_synchrony_sensitivity(benchmark, experiment_report, suite_export):
     suite = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    suite_export("partial_synchrony", suite, group_by="synchrony")
     rows = []
     for outcome in suite:
         synchrony = outcome.scenario.synchrony.parameters()

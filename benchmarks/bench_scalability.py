@@ -64,8 +64,9 @@ def _sweep():
     return suite, cache
 
 
-def test_scalability_sweep(benchmark, experiment_report):
+def test_scalability_sweep(benchmark, experiment_report, suite_export):
     suite, cache = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    suite_export("scalability", suite, group_by="mode", extra={"quick": QUICK})
     rows = []
     for outcome in suite:
         analysis = outcome.graph_analysis

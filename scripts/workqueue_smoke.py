@@ -1,0 +1,81 @@
+"""Work-queue smoke check: shard a small matrix over 2 workers, verify equality.
+
+This is the CI guard for the distributed execution path: it runs one small
+:class:`~repro.experiments.ScenarioMatrix` three ways —
+
+1. serially in-process (the baseline),
+2. through a :class:`~repro.experiments.WorkQueueBackend` with two spawned
+   worker processes draining a filesystem queue,
+3. a second coordinator pass over the *same* queue directory with no
+   workers at all (everything must be stitched from the journaled outcome
+   shards — the killed-and-resumed path)
+
+— and exits non-zero unless the per-scenario summaries of (2) and (3) are
+identical to (1), in scenario order.
+
+Run with::
+
+    PYTHONPATH=src python scripts/workqueue_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import (  # noqa: E402
+    GraphSpec,
+    ScenarioMatrix,
+    SuiteRunner,
+    WorkQueueBackend,
+)
+
+
+def main() -> int:
+    matrix = ScenarioMatrix(
+        name="workqueue-smoke",
+        graphs=(GraphSpec.figure("fig1b"), GraphSpec.bft_cupft(f=1, non_core_size=2, seed=0)),
+        behaviours=("silent", "lying_pd"),
+        replicates=1,
+        base_seed=23,
+    )
+    cells = matrix.scenarios()
+
+    serial = SuiteRunner().run(cells)
+    print(f"serial: {len(serial)} cells in {serial.wall_time:.2f}s, solved {serial.solved_rate:.2f}")
+
+    with tempfile.TemporaryDirectory(prefix="workqueue-smoke-") as tmp:
+        queue_dir = Path(tmp) / "queue"
+        backend = WorkQueueBackend(queue_dir, workers=2, poll_interval=0.05, timeout=300.0)
+        sharded = SuiteRunner(backend=backend).run(cells)
+        print(
+            f"work-queue ({backend.workers} workers): {len(sharded)} cells in "
+            f"{sharded.wall_time:.2f}s"
+        )
+        if sharded.summaries() != serial.summaries():
+            print("FAIL: work-queue summaries diverge from serial", file=sys.stderr)
+            return 1
+        if [o.scenario for o in sharded] != [o.scenario for o in serial]:
+            print("FAIL: work-queue scenario order diverges from serial", file=sys.stderr)
+            return 1
+
+        # Resume path: a fresh coordinator over the same directory, zero
+        # workers — every outcome must come from the journaled shards.
+        resumed = SuiteRunner(
+            backend=WorkQueueBackend(queue_dir, workers=0, poll_interval=0.05, timeout=60.0)
+        ).run(cells)
+        print(f"resume from queue dir: {len(resumed)} cells in {resumed.wall_time:.2f}s")
+        if resumed.summaries() != serial.summaries():
+            print("FAIL: resumed summaries diverge from serial", file=sys.stderr)
+            return 1
+
+    print("OK: work-queue and resumed results are identical to the serial baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,10 +17,14 @@ The library implements, on top of a from-scratch discrete-event simulator:
 * the experiment orchestration layer -- :mod:`repro.experiments`: declarative
   :class:`~repro.experiments.Scenario` cells, cartesian
   :class:`~repro.experiments.ScenarioMatrix` sweeps with deterministic
-  per-cell seeding, the serial/multiprocessing
-  :class:`~repro.experiments.SuiteRunner`, per-group
-  :class:`~repro.experiments.SuiteResult` statistics with JSON/CSV export,
-  and the memoised :class:`~repro.experiments.GraphAnalysisCache`.
+  per-cell seeding, the :class:`~repro.experiments.SuiteRunner` over
+  pluggable execution backends (serial, ``multiprocessing`` pool, or the
+  distributed filesystem :class:`~repro.experiments.WorkQueueBackend`
+  drained by ``python -m repro.experiments.worker`` processes) with
+  journaled :class:`~repro.experiments.OutcomeStore` checkpoint/resume,
+  per-group :class:`~repro.experiments.SuiteResult` statistics with
+  JSON/CSV export, and the memoised
+  :class:`~repro.experiments.GraphAnalysisCache`.
 
 Quickstart
 ----------

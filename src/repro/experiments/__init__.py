@@ -3,10 +3,18 @@
 * :mod:`repro.experiments.scenario` -- declarative :class:`Scenario` cells,
   :class:`GraphSpec` / :class:`SynchronySpec` references and the
   :class:`ScenarioMatrix` cartesian sweep builder with deterministic
-  per-cell seed derivation;
+  per-cell seed derivation (scenarios serialise to JSON and carry a stable
+  ``cell_digest`` for checkpointing and job-queue identity);
+* :mod:`repro.experiments.backends` -- the :class:`ExecutionBackend`
+  protocol and its implementations: :class:`SerialBackend`,
+  :class:`PoolBackend` (local ``multiprocessing``) and
+  :class:`WorkQueueBackend` (a filesystem job queue drained by independent
+  worker processes), plus the journaled :class:`OutcomeStore`;
 * :mod:`repro.experiments.runner` -- :class:`SuiteRunner`, executing suites
-  serially or on a ``multiprocessing`` pool with progress callbacks and
-  fail-fast / collect-all error handling;
+  on any backend with progress callbacks, fail-fast / collect-all error
+  handling and checkpoint/resume via ``run(..., resume=...)``;
+* :mod:`repro.experiments.worker` -- the ``python -m
+  repro.experiments.worker`` CLI that drains a work-queue directory;
 * :mod:`repro.experiments.results` -- :class:`SuiteResult` aggregation
   (per-group mean/median/p95 latency, message totals, solved-rate) with
   JSON/CSV export;
@@ -16,6 +24,16 @@
 """
 
 from repro.core.seeding import derive_seed
+from repro.experiments.backends import (
+    ExecutionBackend,
+    OutcomeStore,
+    PoolBackend,
+    SerialBackend,
+    WorkQueue,
+    WorkQueueBackend,
+    WorkQueueError,
+    execute_cell,
+)
 from repro.experiments.cache import GraphAnalysis, GraphAnalysisCache, analyze_graph
 from repro.experiments.results import GroupStats, ScenarioOutcome, SuiteResult
 from repro.experiments.runner import SuiteExecutionError, SuiteRunner, execute_scenario
@@ -36,6 +54,14 @@ __all__ = [
     "SuiteRunner",
     "SuiteExecutionError",
     "execute_scenario",
+    "execute_cell",
+    "ExecutionBackend",
+    "SerialBackend",
+    "PoolBackend",
+    "WorkQueue",
+    "WorkQueueBackend",
+    "WorkQueueError",
+    "OutcomeStore",
     "ScenarioOutcome",
     "GroupStats",
     "SuiteResult",

@@ -1,0 +1,45 @@
+"""Pluggable execution backends for the suite runner.
+
+* :mod:`repro.experiments.backends.base` -- the :class:`ExecutionBackend`
+  protocol and :func:`execute_cell`, the shared per-cell envelope;
+* :mod:`repro.experiments.backends.local` -- :class:`SerialBackend` and
+  :class:`PoolBackend`, the in-process paths extracted from the runner;
+* :mod:`repro.experiments.backends.queue` -- :class:`WorkQueueBackend` and
+  the filesystem :class:`WorkQueue` it coordinates (atomic-rename claiming,
+  JSONL outcome shards, heartbeat + lease reclamation);
+* :mod:`repro.experiments.backends.store` -- :class:`OutcomeStore`, the
+  append-only outcome journal behind ``SuiteRunner.run(..., resume=...)``.
+"""
+
+from repro.experiments.backends.base import (
+    CellResult,
+    CellTask,
+    ExecutionBackend,
+    Executor,
+    execute_cell,
+)
+from repro.experiments.backends.local import PoolBackend, SerialBackend
+from repro.experiments.backends.queue import (
+    WorkQueue,
+    WorkQueueBackend,
+    WorkQueueError,
+    executor_reference,
+    resolve_executor,
+)
+from repro.experiments.backends.store import OutcomeStore
+
+__all__ = [
+    "CellResult",
+    "CellTask",
+    "ExecutionBackend",
+    "Executor",
+    "execute_cell",
+    "SerialBackend",
+    "PoolBackend",
+    "WorkQueue",
+    "WorkQueueBackend",
+    "WorkQueueError",
+    "executor_reference",
+    "resolve_executor",
+    "OutcomeStore",
+]

@@ -1,0 +1,71 @@
+"""The execution-backend seam of the suite runner.
+
+A backend answers exactly one question: *given these (index, scenario)
+cells and this executor, produce one raw result per cell*.  Everything else
+— outcome assembly, progress callbacks, fail-fast, graph-analysis digests,
+checkpointing, resume — stays in :class:`~repro.experiments.runner.SuiteRunner`,
+so every backend (in-process serial, local multiprocessing pool, filesystem
+work queue, or anything a downstream project plugs in) shares the exact
+same semantics.
+
+Backends yield results in *completion* order; the runner re-assembles
+scenario order.  A backend that ends its iteration without yielding a
+result for every cell signals that cells were skipped/terminated — the
+runner records those in :class:`~repro.experiments.results.SuiteResult`
+metadata rather than dropping them silently.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections.abc import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.scenario import Scenario
+
+#: An executor maps one scenario to its summary dictionary.  It must be a
+#: picklable, importable module-level callable to cross process boundaries
+#: (the pool pickles it; the work queue ships it by ``module:qualname``).
+Executor = Callable[["Scenario"], dict[str, Any]]
+
+#: One raw per-cell result: ``(index, summary, error, wall_time)``.
+CellResult = tuple[int, "dict[str, Any] | None", "str | None", float]
+
+#: One unit of backend work: the cell's index in the full suite plus the
+#: declarative scenario.  Indexes are suite positions, not dense — a resumed
+#: run hands the backend only the cells that still need executing.
+CellTask = tuple[int, "Scenario"]
+
+
+def execute_cell(payload: "tuple[int, Scenario, Executor]") -> CellResult:
+    """Execute one cell, never raising across a process boundary.
+
+    Shared by every backend (it is the pool's pickled entry point and the
+    worker CLI's core), which is what keeps the error/timing envelope of a
+    cell identical no matter where it runs.
+    """
+    index, scenario, executor = payload
+    started = time.perf_counter()
+    try:
+        summary = executor(scenario)
+        return index, summary, None, time.perf_counter() - started
+    except Exception:
+        return index, None, traceback.format_exc(limit=8), time.perf_counter() - started
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Protocol every suite-execution backend implements."""
+
+    #: Short name recorded in :class:`~repro.experiments.results.SuiteResult`
+    #: metadata (``"serial"``, ``"pool"``, ``"work-queue"``, ...).
+    name: str
+
+    def execute(self, cells: Sequence[CellTask], executor: Executor) -> Iterator[CellResult]:
+        """Yield one :data:`CellResult` per cell, in completion order."""
+        ...
+
+
+__all__ = ["CellResult", "CellTask", "ExecutionBackend", "Executor", "execute_cell"]

@@ -1,0 +1,142 @@
+"""Journaled, append-only checkpointing of scenario outcomes.
+
+An :class:`OutcomeStore` is a JSONL journal: one line per completed cell,
+keyed by the scenario's :meth:`~repro.experiments.scenario.Scenario.cell_digest`.
+The runner appends a record (flushed and fsynced) the moment a cell
+finishes, no matter which backend executed it, so a crashed or killed sweep
+loses at most the in-flight cells.  ``SuiteRunner.run(..., resume=store)``
+then loads the journal, stitches the checkpointed outcomes back onto the
+in-memory scenarios and hands the backend only the cells that still need
+executing.
+
+The journal is deliberately forgiving on read: a corrupt or truncated line
+(the typical tail of a crash mid-append) is skipped with a warning instead
+of poisoning the whole resume, and a digest recorded twice keeps the most
+recent record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.results import ScenarioOutcome
+
+#: Fields a journal record must carry to be usable for resume.
+_REQUIRED_FIELDS = ("digest", "summary", "error", "wall_time")
+
+
+def encode_record_line(record: dict[str, Any]) -> tuple[str, bool]:
+    """JSON-encode one journal record as a single line.
+
+    Returns ``(line, degraded)``: when the record contains non-JSON values
+    (a custom executor returned arbitrary objects) the fallback encodes
+    them via ``repr`` and flags the line as degraded, so callers can warn
+    that a later load will see strings instead of the original values.
+    Shared by the outcome journal and the work queue's outcome shards.
+    """
+    try:
+        return json.dumps(record), False
+    except TypeError:
+        return json.dumps(record, default=repr), True
+
+
+def parse_record_line(line: str) -> dict[str, Any] | None:
+    """Parse one journal line; ``None`` unless it is a JSON object."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class OutcomeStore:
+    """Append-only JSONL journal of per-cell outcomes, keyed by cell digest."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+
+    # Writing ---------------------------------------------------------------
+    def record(self, digest: str, outcome: "ScenarioOutcome") -> None:
+        """Append one outcome to the journal, durably (flush + fsync)."""
+        record = {
+            "digest": digest,
+            "scenario": outcome.scenario.name,
+            "summary": outcome.summary,
+            "error": outcome.error,
+            "wall_time": outcome.wall_time,
+            "graph_analysis": outcome.graph_analysis,
+        }
+        line, degraded = encode_record_line(record)
+        if degraded:
+            # A custom executor returned non-JSON values; the journal stays
+            # usable (repr-encoded) but resume will not be byte-identical.
+            warnings.warn(
+                f"outcome of {outcome.scenario.name!r} is not JSON-serialisable; "
+                "checkpointing a repr-encoded record (resume will re-load it as strings)",
+                stacklevel=2,
+            )
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # Reading ---------------------------------------------------------------
+    def load(self) -> dict[str, dict[str, Any]]:
+        """Return every usable journal record, keyed by digest.
+
+        Corrupt, truncated or incomplete lines are skipped with a warning;
+        later records win over earlier ones for the same digest.
+        """
+        records: dict[str, dict[str, Any]] = {}
+        if not self.path.exists():
+            return records
+        with open(self.path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = parse_record_line(line)
+                if record is None:
+                    warnings.warn(
+                        f"{self.path}:{line_number}: skipping corrupt journal line "
+                        "(truncated write from a crashed run?)",
+                        stacklevel=2,
+                    )
+                    continue
+                if any(field not in record for field in _REQUIRED_FIELDS):
+                    warnings.warn(
+                        f"{self.path}:{line_number}: skipping incomplete journal record",
+                        stacklevel=2,
+                    )
+                    continue
+                records[record["digest"]] = record
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self.load()
+
+    # Lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "OutcomeStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["OutcomeStore", "encode_record_line", "parse_record_line"]

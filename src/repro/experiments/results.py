@@ -164,11 +164,21 @@ class SuiteResult:
         *,
         wall_time: float = 0.0,
         processes: int = 1,
+        backend: str = "serial",
+        resumed: int = 0,
+        skipped: Sequence[str] = (),
         cache_stats: dict[str, int] | None = None,
     ) -> None:
         self.outcomes = outcomes
         self.wall_time = wall_time
         self.processes = processes
+        #: Name of the execution backend that produced the outcomes.
+        self.backend = backend
+        #: Cells stitched from a resume checkpoint instead of re-executed.
+        self.resumed = resumed
+        #: Names of cells the backend never reported an outcome for (e.g. a
+        #: terminated pool) — recorded instead of silently truncating.
+        self.skipped = tuple(skipped)
         self.cache_stats = cache_stats
 
     def __len__(self) -> int:
@@ -221,6 +231,9 @@ class SuiteResult:
             "solved_rate": self.solved_rate,
             "wall_time": self.wall_time,
             "processes": self.processes,
+            "backend": self.backend,
+            "resumed": self.resumed,
+            "skipped": list(self.skipped),
             "cache": self.cache_stats,
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
         }

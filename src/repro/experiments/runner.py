@@ -1,31 +1,43 @@
-"""Serial and multiprocessing execution of scenario suites.
+"""Suite execution over pluggable backends, with checkpointing and resume.
 
 The runner is the only component that materialises scenarios: it turns each
 declarative :class:`~repro.experiments.scenario.Scenario` into a
 :class:`~repro.analysis.harness.RunConfig` (graph, nodes, network, keys)
-*inside the executing process*, so scenarios cross the pool boundary as
+*inside the executing process*, so scenarios cross process boundaries as
 plain data and the per-run construction never needs to be pickled.
 
-Execution is deterministic: results are collected in scenario order and the
-per-scenario summaries are identical between the serial and the pool paths
-(each run is self-contained and fully seeded by its scenario).
+Where the cells execute is delegated to an
+:class:`~repro.experiments.backends.ExecutionBackend`:
+:class:`~repro.experiments.backends.SerialBackend` in-process,
+:class:`~repro.experiments.backends.PoolBackend` on a local
+``multiprocessing`` pool, or
+:class:`~repro.experiments.backends.WorkQueueBackend` sharded across
+independent worker processes through a filesystem job queue.  Execution is
+deterministic: results are collected in scenario order and the per-scenario
+summaries are identical across backends (each run is self-contained and
+fully seeded by its scenario).
+
+Passing ``resume=`` (an :class:`~repro.experiments.backends.OutcomeStore`
+or a journal path) checkpoints every completed cell and, on a later run,
+skips cells whose outcomes are already journaled — the resulting
+:class:`~repro.experiments.results.SuiteResult` stitches cached and fresh
+outcomes back into scenario order, indistinguishable from an uninterrupted
+run.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-import traceback
-from collections.abc import Callable, Iterable, Sequence
+import warnings
+from collections.abc import Callable, Iterable
 from typing import Any
 
+from repro.experiments.backends.base import ExecutionBackend, Executor, execute_cell
+from repro.experiments.backends.local import PoolBackend, SerialBackend
+from repro.experiments.backends.store import OutcomeStore
 from repro.experiments.cache import GraphAnalysisCache
 from repro.experiments.results import ScenarioOutcome, SuiteResult
 from repro.experiments.scenario import Scenario
-
-#: An executor maps one scenario to its summary dictionary.  It must be a
-#: picklable callable (a module-level function) when running on a pool.
-Executor = Callable[[Scenario], dict[str, Any]]
 
 #: Progress callbacks receive (completed, total, outcome).
 ProgressCallback = Callable[[int, int, ScenarioOutcome], None]
@@ -44,7 +56,7 @@ def execute_scenario(scenario: Scenario) -> dict[str, Any]:
     """Default executor: build the run config, simulate, return the summary.
 
     The returned dictionary is exactly ``RunResult.summary()``, which keeps
-    serial and pool executions byte-identical.
+    serial, pool and work-queue executions byte-identical.
     """
     from repro.analysis.harness import run_consensus
     from repro.workloads.builders import scenario_run_config
@@ -53,39 +65,39 @@ def execute_scenario(scenario: Scenario) -> dict[str, Any]:
     return run_consensus(config).summary()
 
 
-def _execute_cell(payload: tuple[int, Scenario, Executor]) -> tuple[int, dict[str, Any] | None, str | None, float]:
-    """Pool entry point: run one scenario, never raise across the boundary."""
-    index, scenario, executor = payload
-    started = time.perf_counter()
-    try:
-        summary = executor(scenario)
-        return index, summary, None, time.perf_counter() - started
-    except Exception:
-        return index, None, traceback.format_exc(limit=8), time.perf_counter() - started
+# Backwards-compatible alias: the pool entry point now lives in backends.
+_execute_cell = execute_cell
 
 
 class SuiteRunner:
-    """Execute a list of scenarios serially or on a ``multiprocessing`` pool.
+    """Execute a list of scenarios on a pluggable execution backend.
 
     Parameters
     ----------
     processes:
-        ``None`` or ``1`` runs serially in-process; ``N > 1`` runs on a pool
-        of ``N`` worker processes.
+        Convenience shorthand: ``None`` or ``1`` selects the
+        :class:`SerialBackend`, ``N > 1`` a :class:`PoolBackend` of ``N``
+        worker processes.  Mutually exclusive with ``backend``.
+    backend:
+        Any :class:`~repro.experiments.backends.ExecutionBackend` (e.g. a
+        :class:`~repro.experiments.backends.WorkQueueBackend` to shard the
+        suite across independent worker processes).
     executor:
         The per-scenario executor (default: :func:`execute_scenario`, which
         runs the full consensus simulation).  Custom executors let suites
         drive other harnesses (e.g. the discovery-only baselines) through
-        the same matrix/aggregation machinery.
+        the same matrix/aggregation machinery; they must be module-level
+        callables to cross process boundaries.
     fail_fast:
         When true, the first failing scenario raises
-        :class:`SuiteExecutionError` (the pool is terminated); otherwise
-        failures are collected as error outcomes and the suite completes.
+        :class:`SuiteExecutionError` (in-flight backend work is torn down);
+        otherwise failures are collected as error outcomes and the suite
+        completes.
     graph_cache:
         Optional :class:`GraphAnalysisCache`.  When provided, the runner
         resolves the memoised static analysis of every scenario's graph (in
-        the parent process, once per distinct graph spec) and attaches its
-        digest to the outcome.
+        the coordinating process, once per distinct graph spec) and attaches
+        its digest to the outcome.
     progress:
         Optional callback invoked after every completed scenario with
         ``(completed, total, outcome)``, in completion order.
@@ -95,6 +107,7 @@ class SuiteRunner:
         self,
         *,
         processes: int | None = None,
+        backend: ExecutionBackend | None = None,
         executor: Executor = execute_scenario,
         fail_fast: bool = False,
         graph_cache: GraphAnalysisCache | None = None,
@@ -102,40 +115,118 @@ class SuiteRunner:
     ) -> None:
         if processes is not None and processes < 1:
             raise ValueError("processes must be at least 1")
+        if backend is not None and processes is not None:
+            raise ValueError("pass either processes or backend, not both")
         self.processes = processes
+        self.backend = backend
         self.executor = executor
         self.fail_fast = fail_fast
         self.graph_cache = graph_cache
         self.progress = progress
 
     # ------------------------------------------------------------------
-    def run(self, scenarios: Iterable[Scenario]) -> SuiteResult:
-        """Execute every scenario and return the aggregated suite result."""
+    def run(
+        self,
+        scenarios: Iterable[Scenario],
+        *,
+        resume: OutcomeStore | str | None = None,
+    ) -> SuiteResult:
+        """Execute every scenario and return the aggregated suite result.
+
+        With ``resume`` (an :class:`OutcomeStore` or a journal path), cells
+        already journaled as successful are stitched from the checkpoint
+        instead of re-executed (journaled failures are retried), and every
+        freshly completed cell is journaled — so a killed sweep re-run with
+        the same store continues where it stopped.
+        """
         cells = list(scenarios)
+        backend = self._resolve_backend()
+        store = self._resolve_store(resume)
         started = time.perf_counter()
-        if self.processes is None or self.processes == 1:
-            outcomes = self._run_serial(cells)
-            processes = 1
-        else:
-            outcomes = self._run_pool(cells)
-            processes = self.processes
+
+        outcomes: list[ScenarioOutcome | None] = [None] * len(cells)
+        digests: list[str] | None = None
+        resumed = 0
+        if store is not None:
+            digests = [scenario.cell_digest() for scenario in cells]
+            records = store.load()
+            for index, digest in enumerate(digests):
+                record = records.get(digest)
+                # Only successful cells are stitched from the checkpoint:
+                # journaled *error* outcomes are re-executed on resume (so a
+                # transient failure heals without hand-editing the journal,
+                # and fail_fast semantics apply to the retry).
+                if record is None or record["error"] is not None:
+                    continue
+                outcomes[index] = ScenarioOutcome(
+                    scenario=cells[index],
+                    summary=record["summary"],
+                    error=None,
+                    wall_time=record["wall_time"],
+                    graph_analysis=record.get("graph_analysis"),
+                )
+                resumed += 1
+
+        pending = [(index, cells[index]) for index in range(len(cells)) if outcomes[index] is None]
+        completed = resumed
+        if pending:
+            results = backend.execute(pending, self.executor)
+            try:
+                for index, summary, error, wall in results:
+                    completed += 1
+                    outcome = self._finish(cells[index], summary, error, wall, completed, len(cells))
+                    outcomes[index] = outcome
+                    if store is not None and digests is not None:
+                        store.record(digests[index], outcome)
+            finally:
+                # Close generator backends promptly (fail-fast must tear down
+                # in-flight pool/queue work now, not when the traceback that
+                # references this frame is eventually collected).
+                close = getattr(results, "close", None)
+                if close is not None:
+                    close()
+
+        skipped = tuple(
+            cells[index].name for index in range(len(cells)) if outcomes[index] is None
+        )
+        if skipped:
+            warnings.warn(
+                f"backend {backend.name!r} finished without outcomes for {len(skipped)} "
+                f"of {len(cells)} cells; they are recorded in SuiteResult.skipped",
+                stacklevel=2,
+            )
         return SuiteResult(
-            outcomes,
+            [outcome for outcome in outcomes if outcome is not None],
             wall_time=time.perf_counter() - started,
-            processes=processes,
+            processes=getattr(backend, "processes", 1),
+            backend=backend.name,
+            resumed=resumed,
+            skipped=skipped,
             cache_stats=self.graph_cache.stats() if self.graph_cache is not None else None,
         )
 
     # ------------------------------------------------------------------
+    def _resolve_backend(self) -> ExecutionBackend:
+        if self.backend is not None:
+            return self.backend
+        if self.processes is None or self.processes == 1:
+            return SerialBackend()
+        return PoolBackend(self.processes)
+
+    @staticmethod
+    def _resolve_store(resume: OutcomeStore | str | None) -> OutcomeStore | None:
+        if resume is None or isinstance(resume, OutcomeStore):
+            return resume
+        return OutcomeStore(resume)
+
     def _finish(
         self,
-        index: int,
-        total: int,
         scenario: Scenario,
         summary: dict[str, Any] | None,
         error: str | None,
         wall: float,
         completed: int,
+        total: int,
     ) -> ScenarioOutcome:
         if error is not None and self.fail_fast:
             raise SuiteExecutionError(scenario, error)
@@ -154,31 +245,6 @@ class SuiteRunner:
         if self.graph_cache is None:
             return None
         return self.graph_cache.analysis(scenario.graph).summary()
-
-    def _run_serial(self, cells: Sequence[Scenario]) -> list[ScenarioOutcome]:
-        outcomes: list[ScenarioOutcome] = []
-        for index, scenario in enumerate(cells):
-            _index, summary, error, wall = _execute_cell((index, scenario, self.executor))
-            outcomes.append(
-                self._finish(index, len(cells), scenario, summary, error, wall, len(outcomes) + 1)
-            )
-        return outcomes
-
-    def _run_pool(self, cells: Sequence[Scenario]) -> list[ScenarioOutcome]:
-        outcomes: list[ScenarioOutcome | None] = [None] * len(cells)
-        payloads = [(index, scenario, self.executor) for index, scenario in enumerate(cells)]
-        completed = 0
-        with multiprocessing.Pool(processes=self.processes) as pool:
-            try:
-                for index, summary, error, wall in pool.imap_unordered(_execute_cell, payloads):
-                    completed += 1
-                    outcomes[index] = self._finish(
-                        index, len(cells), cells[index], summary, error, wall, completed
-                    )
-            except SuiteExecutionError:
-                pool.terminate()
-                raise
-        return [outcome for outcome in outcomes if outcome is not None]
 
 
 __all__ = ["SuiteRunner", "SuiteExecutionError", "execute_scenario"]

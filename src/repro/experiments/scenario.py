@@ -23,6 +23,10 @@ is what makes scenarios safe to ship to a ``multiprocessing`` pool.
 
 from __future__ import annotations
 
+import enum
+import hashlib
+import importlib
+import json
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field, replace
 from itertools import product
@@ -54,6 +58,25 @@ def _freeze_params(params: Mapping[str, Any]) -> Params:
 
 def _format_params(params: Params) -> str:
     return ",".join(f"{name}={value!r}" for name, value in params)
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-encode one parameter value, tagging enums so they round-trip."""
+    if isinstance(value, enum.Enum):
+        cls = type(value)
+        return {"__enum__": f"{cls.__module__}:{cls.__qualname__}", "value": value.value}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    """Invert :func:`_encode_value` (plain JSON values pass through)."""
+    if isinstance(value, dict) and "__enum__" in value:
+        module_name, _, qualname = value["__enum__"].partition(":")
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        return obj(value["value"])
+    return value
 
 
 #: Generator families understood by :meth:`GraphSpec.build`.
@@ -139,6 +162,11 @@ class GraphSpec:
     def to_dict(self) -> dict[str, Any]:
         return {"family": self.family, "params": {k: v for k, v in self.params}}
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GraphSpec":
+        """Rebuild a spec from its :meth:`to_dict` JSON representation."""
+        return cls(family=payload["family"], params=_freeze_params(payload.get("params", {})))
+
 
 #: Synchrony model families understood by :meth:`SynchronySpec.build`.
 _SYNCHRONY_FAMILIES = {
@@ -185,6 +213,11 @@ class SynchronySpec:
     def to_dict(self) -> dict[str, Any]:
         return {"kind": self.kind, "params": {k: v for k, v in self.params}}
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SynchronySpec":
+        """Rebuild a spec from its :meth:`to_dict` JSON representation."""
+        return cls(kind=payload["kind"], params=_freeze_params(payload.get("params", {})))
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -220,7 +253,12 @@ class Scenario:
         return replace(self, labels=self.labels + _freeze_params(extra))
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-friendly representation (used by the suite exports)."""
+        """Faithful JSON representation (suite exports, job files, digests).
+
+        The encoding is lossless for every declarative field — enum-valued
+        protocol options are tagged rather than ``repr``'d — so
+        :meth:`from_dict` reconstructs an equal scenario in any process.
+        """
         return {
             "name": self.name,
             "graph": self.graph.to_dict(),
@@ -229,9 +267,44 @@ class Scenario:
             "synchrony": self.synchrony.to_dict(),
             "seed": self.seed,
             "horizon": self.horizon,
-            "protocol_options": {name: repr(value) for name, value in self.protocol_options},
+            "protocol_options": {name: _encode_value(value) for name, value in self.protocol_options},
             "labels": {name: value for name, value in self.labels},
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from its :meth:`to_dict` JSON representation.
+
+        This is what lets work-queue jobs cross process (and machine)
+        boundaries as plain JSON files: ``Scenario.from_dict(s.to_dict())``
+        equals ``s`` whenever the specs were built through the documented
+        constructors (which canonicalise parameter order).
+        """
+        return cls(
+            name=payload["name"],
+            graph=GraphSpec.from_dict(payload["graph"]),
+            mode=ProtocolMode(payload["mode"]),
+            behaviour=payload["behaviour"],
+            synchrony=SynchronySpec.from_dict(payload["synchrony"]),
+            seed=payload["seed"],
+            horizon=payload["horizon"],
+            protocol_options=tuple(
+                sorted((name, _decode_value(value)) for name, value in payload.get("protocol_options", {}).items())
+            ),
+            labels=_freeze_params(payload.get("labels", {})),
+        )
+
+    def cell_digest(self) -> str:
+        """Stable content hash identifying this cell across processes.
+
+        The digest is SHA-256 over the canonical JSON encoding of
+        :meth:`to_dict`, so it survives JSON round-trips (job files, outcome
+        journals) and is identical in every worker — it is the key used by
+        the work queue and the :class:`~repro.experiments.backends.OutcomeStore`
+        to match checkpointed outcomes back to scenarios.
+        """
+        material = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"), default=repr)
+        return hashlib.sha256(material.encode()).hexdigest()
 
 
 @dataclass

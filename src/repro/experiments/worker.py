@@ -1,0 +1,150 @@
+"""Work-queue worker: ``python -m repro.experiments.worker --queue DIR``.
+
+A worker is a standalone process that drains a
+:class:`~repro.experiments.backends.queue.WorkQueue` directory: it claims
+job files by atomic rename, materialises the declarative scenario *inside
+its own process*, runs the job's executor and journals the outcome to its
+own JSONL shard.  Launch as many as you like — by hand, from cron, or from
+a cluster scheduler — against the same directory (local or on a shared
+filesystem); the queue's rename-based claiming makes them cooperate without
+any coordination channel.
+
+Workers heartbeat every loop, so a coordinator (or a fellow worker) can
+reclaim the claims of a worker that died mid-cell once its lease expires.
+
+Examples
+--------
+Drain a queue, lingering 10 idle seconds (the default) for late jobs::
+
+    PYTHONPATH=src python -m repro.experiments.worker --queue sweep-queue
+
+Keep polling for new jobs for up to an hour between jobs (a "warm" worker)::
+
+    PYTHONPATH=src python -m repro.experiments.worker --queue sweep-queue --idle-timeout 3600
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import threading
+import time
+import traceback
+from pathlib import Path
+
+from repro.experiments.backends.queue import WorkQueue, resolve_executor
+from repro.experiments.scenario import Scenario
+
+
+def default_worker_id() -> str:
+    """A host- and process-unique worker id."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def drain(
+    queue: str | Path | WorkQueue,
+    *,
+    worker_id: str | None = None,
+    max_jobs: int | None = None,
+    idle_timeout: float = 10.0,
+    poll_interval: float = 0.1,
+    lease: float = 60.0,
+) -> int:
+    """Claim and execute jobs until idle for ``idle_timeout``; return the job count.
+
+    The worker exits after ``idle_timeout`` seconds without claiming a job
+    (so a large ``idle_timeout`` makes a "warm" worker that keeps waiting
+    for new work, and the default makes it linger briefly past the last
+    job), or after ``max_jobs`` executed jobs.  While idle it reclaims
+    expired claims of dead workers, so a fleet of workers is self-healing.
+
+    A background thread refreshes the worker's heartbeat every quarter
+    lease, *including while a cell is executing* — a claim is therefore
+    only reclaimed when the worker process actually died, not merely
+    because one cell ran longer than the lease.
+    """
+    work_queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+    worker = worker_id or default_worker_id()
+    executed = 0
+    stop_heartbeat = threading.Event()
+    beat_interval = max(min(lease / 4.0, 15.0), 0.05)
+
+    def _heartbeat_loop() -> None:
+        while not stop_heartbeat.wait(beat_interval):
+            work_queue.heartbeat(worker)
+
+    heartbeat_thread = threading.Thread(target=_heartbeat_loop, daemon=True)
+    heartbeat_thread.start()
+    try:
+        idle_since = time.monotonic()
+        while max_jobs is None or executed < max_jobs:
+            work_queue.heartbeat(worker)
+            job = work_queue.claim(worker)
+            if job is None:
+                work_queue.reclaim_expired(lease)
+                if time.monotonic() - idle_since > idle_timeout:
+                    break
+                time.sleep(poll_interval)
+                continue
+            started = time.perf_counter()
+            try:
+                scenario = Scenario.from_dict(job.scenario)
+                executor = resolve_executor(job.executor)
+                summary, error = executor(scenario), None
+            except Exception:
+                # Never let one bad cell (or an unimportable executor) kill
+                # the worker: report the failure so the coordinator sees it.
+                summary, error = None, traceback.format_exc(limit=8)
+            work_queue.report(
+                worker, job, summary=summary, error=error, wall_time=time.perf_counter() - started
+            )
+            executed += 1
+            idle_since = time.monotonic()
+    finally:
+        stop_heartbeat.set()
+        heartbeat_thread.join(timeout=1.0)
+    return executed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.worker",
+        description="Drain one work-queue directory of experiment cells.",
+    )
+    parser.add_argument("--queue", required=True, help="work-queue directory to drain")
+    parser.add_argument("--worker-id", default=None, help="unique worker id (default: host-pid)")
+    parser.add_argument("--max-jobs", type=int, default=None, help="exit after this many jobs")
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=10.0,
+        help="exit after this many idle seconds (default: 10)",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.1, help="seconds between idle polls (default: 0.1)"
+    )
+    parser.add_argument(
+        "--lease",
+        type=float,
+        default=60.0,
+        help="reclaim claims whose worker heartbeat is older than this (default: 60)",
+    )
+    options = parser.parse_args(argv)
+    executed = drain(
+        options.queue,
+        worker_id=options.worker_id,
+        max_jobs=options.max_jobs,
+        idle_timeout=options.idle_timeout,
+        poll_interval=options.poll_interval,
+        lease=options.lease,
+    )
+    print(f"worker {options.worker_id or default_worker_id()}: executed {executed} jobs")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())
+
+
+__all__ = ["default_worker_id", "drain", "main"]

@@ -1,0 +1,199 @@
+"""Tests for the execution-backend seam, cell digests and checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.core import ProtocolMode
+from repro.core.config import QuorumRule
+from repro.experiments import (
+    GraphSpec,
+    OutcomeStore,
+    PoolBackend,
+    Scenario,
+    ScenarioMatrix,
+    SerialBackend,
+    SuiteExecutionError,
+    SuiteRunner,
+)
+
+
+def small_matrix(replicates: int = 2) -> ScenarioMatrix:
+    return ScenarioMatrix(
+        name="small",
+        graphs=(GraphSpec.figure("fig1b"), GraphSpec.bft_cupft(f=1, non_core_size=2, seed=0)),
+        modes=(ProtocolMode.BFT_CUPFT,),
+        behaviours=("silent",),
+        replicates=replicates,
+        base_seed=3,
+    )
+
+
+# Module-level so they are picklable/importable across process boundaries.
+def cheap_executor(scenario: Scenario) -> dict:
+    return {
+        "terminated": True,
+        "agreement": True,
+        "validity": True,
+        "messages": scenario.seed % 1000,
+        "latency": float(scenario.label("replicate")) + 1.0,
+    }
+
+
+#: Armed by the crash tests: replicate-1 cells raise while the flag is set.
+CRASH = {"armed": False}
+
+
+def crashy_executor(scenario: Scenario) -> dict:
+    if CRASH["armed"] and scenario.label("replicate") == 1:
+        raise RuntimeError("simulated mid-suite crash")
+    return cheap_executor(scenario)
+
+
+def never_called_executor(scenario: Scenario) -> dict:
+    raise AssertionError(f"executor should not run for {scenario.name}")
+
+
+class DroppingBackend:
+    """A backend that 'loses' the last cell, like a terminated pool."""
+
+    name = "dropping"
+    processes = 1
+
+    def execute(self, cells, executor):
+        for index, scenario in cells[:-1]:
+            yield index, executor(scenario), None, 0.0
+
+
+class TestCellDigest:
+    def scenario(self) -> Scenario:
+        return Scenario(
+            name="digest-cell",
+            graph=GraphSpec.bft_cup(f=1, non_sink_size=4, seed=9),
+            mode=ProtocolMode.BFT_CUP,
+            behaviour="lying_pd",
+            seed=17,
+            protocol_options=(("quorum_rule", QuorumRule.CLASSIC),),
+            labels=(("matrix", "digest"), ("replicate", 0)),
+        )
+
+    def test_json_round_trip_preserves_equality(self):
+        scenario = self.scenario()
+        payload = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(payload) == scenario
+
+    def test_digest_survives_json_round_trip(self):
+        scenario = self.scenario()
+        rebuilt = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+        assert rebuilt.cell_digest() == scenario.cell_digest()
+
+    def test_digest_distinguishes_cells(self):
+        cells = small_matrix(replicates=2).scenarios()
+        digests = {scenario.cell_digest() for scenario in cells}
+        assert len(digests) == len(cells)
+
+    def test_enum_protocol_options_round_trip(self):
+        scenario = self.scenario()
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt.protocol_options == (("quorum_rule", QuorumRule.CLASSIC),)
+        assert rebuilt.mode is ProtocolMode.BFT_CUP
+
+
+class TestBackendSeam:
+    def test_serial_backend_matches_default_runner(self):
+        cells = small_matrix().scenarios()
+        default = SuiteRunner(executor=cheap_executor).run(cells)
+        explicit = SuiteRunner(backend=SerialBackend(), executor=cheap_executor).run(cells)
+        assert default.summaries() == explicit.summaries()
+        assert explicit.backend == "serial"
+
+    def test_pool_backend_matches_serial(self):
+        cells = small_matrix().scenarios()
+        serial = SuiteRunner(executor=cheap_executor).run(cells)
+        pooled = SuiteRunner(backend=PoolBackend(2), executor=cheap_executor).run(cells)
+        assert serial.summaries() == pooled.summaries()
+        assert pooled.backend == "pool"
+        assert pooled.processes == 2
+
+    def test_processes_and_backend_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            SuiteRunner(processes=2, backend=SerialBackend())
+
+    def test_dropped_cells_are_recorded_not_truncated(self):
+        cells = small_matrix(replicates=1).scenarios()
+        runner = SuiteRunner(backend=DroppingBackend(), executor=cheap_executor)
+        with pytest.warns(UserWarning, match="without outcomes for 1"):
+            suite = runner.run(cells)
+        assert len(suite) == len(cells) - 1
+        assert suite.skipped == (cells[-1].name,)
+        assert suite.to_dict()["skipped"] == [cells[-1].name]
+
+
+class TestResume:
+    def test_checkpoint_then_resume_skips_every_cell(self, tmp_path):
+        cells = small_matrix().scenarios()
+        journal = tmp_path / "outcomes.jsonl"
+        first = SuiteRunner(executor=cheap_executor).run(cells, resume=OutcomeStore(journal))
+        assert first.resumed == 0
+        # Second run: the executor must never fire; everything is stitched.
+        second = SuiteRunner(executor=never_called_executor).run(cells, resume=OutcomeStore(journal))
+        assert second.resumed == len(cells)
+        assert second.summaries() == first.summaries()
+        assert [o.scenario for o in second] == [o.scenario for o in first]
+
+    def test_resume_accepts_a_path(self, tmp_path):
+        cells = small_matrix(replicates=1).scenarios()
+        journal = tmp_path / "outcomes.jsonl"
+        SuiteRunner(executor=cheap_executor).run(cells, resume=str(journal))
+        resumed = SuiteRunner(executor=never_called_executor).run(cells, resume=str(journal))
+        assert resumed.resumed == len(cells)
+
+    def test_mid_suite_crash_resumes_to_identical_result(self, tmp_path):
+        """The acceptance bar: killed mid-run + resume == uninterrupted serial."""
+        cells = small_matrix(replicates=2).scenarios()
+        baseline = SuiteRunner(executor=crashy_executor).run(cells)
+
+        journal = tmp_path / "outcomes.jsonl"
+        CRASH["armed"] = True
+        try:
+            with pytest.raises(SuiteExecutionError, match="simulated mid-suite crash"):
+                SuiteRunner(executor=crashy_executor, fail_fast=True).run(
+                    cells, resume=OutcomeStore(journal)
+                )
+        finally:
+            CRASH["armed"] = False
+        checkpointed = OutcomeStore(journal).load()
+        assert 0 < len(checkpointed) < len(cells)
+
+        resumed = SuiteRunner(executor=crashy_executor).run(cells, resume=OutcomeStore(journal))
+        assert resumed.resumed == len(checkpointed)
+        assert resumed.summaries() == baseline.summaries()
+        assert [o.scenario for o in resumed] == [o.scenario for o in baseline]
+
+    def test_resume_retries_journaled_errors(self, tmp_path):
+        # Error outcomes in the journal are not stitched: the cells run
+        # again, so a transient failure heals on resume.
+        cells = small_matrix(replicates=2).scenarios()
+        baseline = SuiteRunner(executor=cheap_executor).run(cells)
+        journal = tmp_path / "outcomes.jsonl"
+        CRASH["armed"] = True
+        try:
+            failed = SuiteRunner(executor=crashy_executor).run(cells, resume=OutcomeStore(journal))
+        finally:
+            CRASH["armed"] = False
+        assert len(failed.errors) == 2
+        healed = SuiteRunner(executor=crashy_executor).run(cells, resume=OutcomeStore(journal))
+        assert healed.resumed == len(cells) - 2
+        assert not healed.errors
+        assert healed.summaries() == baseline.summaries()
+
+    def test_real_simulation_resume_is_byte_identical(self, tmp_path):
+        """Default executor: interrupted + resumed == uninterrupted, exactly."""
+        cells = small_matrix(replicates=1).scenarios()
+        baseline = SuiteRunner().run(cells)
+        journal = tmp_path / "outcomes.jsonl"
+        # "Crash" after the first cell by only running a prefix of the suite.
+        SuiteRunner().run(cells[:1], resume=OutcomeStore(journal))
+        resumed = SuiteRunner().run(cells, resume=OutcomeStore(journal))
+        assert resumed.resumed == 1
+        assert resumed.summaries() == baseline.summaries()

@@ -1,0 +1,117 @@
+"""Tests for the journaled outcome store (corruption tolerance, round-trips)."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.experiments import GraphSpec, OutcomeStore, Scenario, ScenarioOutcome
+
+
+def outcome(name: str = "cell", **summary) -> ScenarioOutcome:
+    scenario = Scenario(name=name, graph=GraphSpec.figure("fig1b"), seed=1)
+    return ScenarioOutcome(
+        scenario=scenario,
+        summary={"terminated": True, "messages": 12, "latency": 34.5, **summary},
+        error=None,
+        wall_time=0.25,
+        graph_analysis=None,
+    )
+
+
+class TestRoundTrip:
+    def test_record_and_load_preserves_types(self, tmp_path):
+        store = OutcomeStore(tmp_path / "journal.jsonl")
+        store.record("d1", outcome())
+        store.close()
+        record = OutcomeStore(tmp_path / "journal.jsonl").load()["d1"]
+        assert record["summary"] == {"terminated": True, "messages": 12, "latency": 34.5}
+        assert record["error"] is None
+        assert record["wall_time"] == 0.25
+        assert record["scenario"] == "cell"
+
+    def test_duplicate_digest_keeps_latest_record(self, tmp_path):
+        store = OutcomeStore(tmp_path / "journal.jsonl")
+        store.record("d1", outcome(messages=1))
+        store.record("d1", outcome(messages=2))
+        store.close()
+        assert OutcomeStore(tmp_path / "journal.jsonl").load()["d1"]["summary"]["messages"] == 2
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        assert OutcomeStore(tmp_path / "nope.jsonl").load() == {}
+
+    def test_context_manager_closes_handle(self, tmp_path):
+        with OutcomeStore(tmp_path / "journal.jsonl") as store:
+            store.record("d1", outcome())
+            assert store._handle is not None
+        assert store._handle is None
+
+    def test_non_json_summary_degrades_with_warning(self, tmp_path):
+        store = OutcomeStore(tmp_path / "journal.jsonl")
+        bad = outcome()
+        bad.summary = {"value": object()}
+        with pytest.warns(UserWarning, match="not JSON-serialisable"):
+            store.record("d1", bad)
+        store.close()
+        assert "d1" in OutcomeStore(tmp_path / "journal.jsonl").load()
+
+
+class TestCorruptionTolerance:
+    def write_journal(self, path, lines):
+        path.write_text("\n".join(lines) + "\n")
+
+    def good_line(self, digest: str) -> str:
+        return json.dumps(
+            {
+                "digest": digest,
+                "scenario": digest,
+                "summary": {"terminated": True},
+                "error": None,
+                "wall_time": 0.1,
+                "graph_analysis": None,
+            }
+        )
+
+    def test_corrupt_lines_are_skipped_with_warning(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        self.write_journal(
+            journal,
+            [
+                self.good_line("d1"),
+                "{{{ this is not json",
+                json.dumps([1, 2, 3]),  # valid JSON, but not an object
+                json.dumps({"digest": "d-incomplete"}),  # missing required fields
+                self.good_line("d2"),
+            ],
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = OutcomeStore(journal).load()
+        assert sorted(records) == ["d1", "d2"]
+        messages = [str(w.message) for w in caught]
+        assert sum("corrupt journal line" in m for m in messages) == 2
+        assert sum("incomplete journal record" in m for m in messages) == 1
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        # The classic crash signature: the last append was cut short.
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(self.good_line("d1") + "\n" + self.good_line("d2")[:25])
+        with pytest.warns(UserWarning, match="corrupt"):
+            records = OutcomeStore(journal).load()
+        assert sorted(records) == ["d1"]
+
+    def test_blank_lines_are_ignored_silently(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(self.good_line("d1") + "\n\n\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail the test
+            records = OutcomeStore(journal).load()
+        assert sorted(records) == ["d1"]
+
+    def test_len_and_contains(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        self.write_journal(journal, [self.good_line("d1")])
+        store = OutcomeStore(journal)
+        assert len(store) == 1
+        assert "d1" in store
+        assert "d2" not in store
