@@ -16,8 +16,13 @@ behaviours used by the tests and experiments:
 * ``wrong_value``     -- participates correctly in discovery but proposes a
   poisoned value, equivocates when it is the inner-consensus leader and
   returns a bogus decided value to non-member queries.
+
+Heterogeneous compositions of these behaviours ("one equivocator + rest
+silent") are declared with :class:`~repro.adversary.mix.AdversaryMix`,
+which the scenario layer sweeps as a first-class axis.
 """
 
+from repro.adversary.mix import REST, AdversaryMix, MixEntry
 from repro.adversary.spec import FaultSpec
 from repro.adversary.nodes import (
     CrashNode,
@@ -29,6 +34,9 @@ from repro.adversary.nodes import (
 )
 
 __all__ = [
+    "AdversaryMix",
+    "MixEntry",
+    "REST",
     "FaultSpec",
     "SilentNode",
     "CrashNode",

@@ -1,0 +1,189 @@
+"""Declarative per-process adversary mixes.
+
+A :class:`FaultSpec` describes *one* faulty process; scenarios historically
+applied a single behaviour string to *every* faulty process.  An
+:class:`AdversaryMix` lifts the fault assignment to a first-class,
+declarative axis: an ordered list of :class:`MixEntry` roles — a behaviour
+name, how many faulty processes play it (an exact count or ``"rest"``) and
+optional parameter overrides — plus a deterministic, seed-derived placement
+of those roles onto the faulty set.
+
+The mix is plain data: it is hashable, picklable and JSON round-trippable
+(:meth:`AdversaryMix.to_dict` / :meth:`AdversaryMix.from_dict`), so it
+crosses the work-queue job codec losslessly alongside the rest of a
+:class:`~repro.experiments.scenario.Scenario`.  The concrete
+:class:`FaultSpec` objects are only materialised by the workload builders,
+inside the executing process.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.adversary.spec import BEHAVIOUR_PARAMS, KNOWN_BEHAVIOURS
+from repro.core.seeding import derive_seed
+from repro.graphs.knowledge_graph import ProcessId
+
+#: Sentinel count assigning an entry to every faulty process not claimed by
+#: a fixed-count entry.
+REST = "rest"
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One role of a mix: a behaviour, a head-count and parameter overrides.
+
+    ``count`` is a non-negative integer or :data:`REST` (``"rest"``); at
+    most one entry of a mix may claim the rest.  ``params`` are keyword
+    overrides forwarded to
+    :func:`repro.workloads.builders.default_fault_spec` (e.g. ``at`` for
+    ``crash``, ``poison_value`` for ``wrong_value``); values must be JSON
+    scalars so the entry round-trips through job files.
+    """
+
+    behaviour: str
+    count: int | str = 1
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.behaviour not in KNOWN_BEHAVIOURS:
+            raise ValueError(
+                f"unknown behaviour {self.behaviour!r}; expected one of {sorted(KNOWN_BEHAVIOURS)}"
+            )
+        if isinstance(self.count, bool) or not (
+            self.count == REST or (isinstance(self.count, int) and self.count >= 0)
+        ):
+            raise ValueError(
+                f"entry count must be a non-negative integer or {REST!r}, got {self.count!r}"
+            )
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+        allowed = BEHAVIOUR_PARAMS[self.behaviour]
+        unknown = {name for name, _value in self.params} - allowed
+        if unknown:
+            raise ValueError(
+                f"behaviour {self.behaviour!r} accepts no parameter named "
+                f"{sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity of the entry."""
+        rendered = "".join(f",{name}={value!r}" for name, value in self.params)
+        return f"{self.behaviour}{rendered}:{self.count}"
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"behaviour": self.behaviour, "count": self.count}
+        if self.params:
+            payload["params"] = {name: value for name, value in self.params}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MixEntry":
+        return cls(
+            behaviour=payload["behaviour"],
+            count=payload.get("count", 1),
+            params=tuple(sorted(payload.get("params", {}).items())),
+        )
+
+
+@dataclass(frozen=True)
+class AdversaryMix:
+    """A declarative, heterogeneous assignment of behaviours to faulty processes.
+
+    ``entries`` are filled in order: fixed-count entries claim processes
+    first, then the (at most one) ``"rest"`` entry claims whoever is left.
+    Placement onto a concrete faulty set is performed by :meth:`assign`,
+    which shuffles the (sorted) faulty processes with a seed derived from
+    the run seed and the mix identity — deterministic for a given
+    ``(mix, faulty set, seed)`` in every process, yet varying across seed
+    replicates so no process is systematically assigned the same role.
+    """
+
+    entries: tuple[MixEntry, ...]
+    #: Optional short label used in scenario names, labels and digests
+    #: instead of the spelled-out entry list.
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(self.entries))
+        if not self.entries:
+            raise ValueError("an adversary mix needs at least one entry")
+        rests = sum(1 for entry in self.entries if entry.count == REST)
+        if rests > 1:
+            raise ValueError(f"at most one mix entry may claim {REST!r}, got {rests}")
+
+    @classmethod
+    def of(cls, name: str = "", /, **counts: int | str) -> "AdversaryMix":
+        """Shorthand constructor: ``AdversaryMix.of(equivocating_pd=1, silent="rest")``.
+
+        Keyword order is preserved and determines placement priority; the
+        optional positional ``name`` labels the mix in reports.
+        """
+        if not counts:
+            raise ValueError("an adversary mix needs at least one behaviour=count entry")
+        return cls(
+            entries=tuple(MixEntry(behaviour=b, count=c) for b, c in counts.items()),
+            name=name,
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable identity used for labels, seed derivation and digests."""
+        spelled = ",".join(entry.key for entry in self.entries)
+        return f"mix:{self.name}({spelled})" if self.name else f"mix({spelled})"
+
+    def assign(self, faulty: frozenset[ProcessId], *, seed: int = 0) -> dict[ProcessId, MixEntry]:
+        """Deterministically place each entry's role onto the faulty set."""
+        ordered = sorted(faulty, key=repr)
+        rng = random.Random(derive_seed(seed, "adversary-mix", self.key))
+        rng.shuffle(ordered)
+        assignment: dict[ProcessId, MixEntry] = {}
+        cursor = 0
+        rest_entry: MixEntry | None = None
+        for entry in self.entries:
+            if entry.count == REST:
+                rest_entry = entry
+                continue
+            take = int(entry.count)
+            if cursor + take > len(ordered):
+                raise ValueError(
+                    f"mix {self.key} needs at least {self.minimum_faulty()} faulty "
+                    f"processes but the scenario has only {len(ordered)}"
+                )
+            for process in ordered[cursor : cursor + take]:
+                assignment[process] = entry
+            cursor += take
+        leftover = ordered[cursor:]
+        if rest_entry is not None:
+            for process in leftover:
+                assignment[process] = rest_entry
+        elif leftover:
+            raise ValueError(
+                f"mix {self.key} covers {cursor} faulty processes but the scenario has "
+                f"{len(ordered)}; add a behaviour={REST!r} entry to absorb the remainder"
+            )
+        return assignment
+
+    def minimum_faulty(self) -> int:
+        """The smallest faulty-set size this mix can be placed onto."""
+        return sum(int(entry.count) for entry in self.entries if entry.count != REST)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"entries": [entry.to_dict() for entry in self.entries]}
+        if self.name:
+            payload["name"] = self.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AdversaryMix":
+        """Rebuild a mix from its :meth:`to_dict` JSON representation."""
+        return cls(
+            entries=tuple(MixEntry.from_dict(entry) for entry in payload["entries"]),
+            name=payload.get("name", ""),
+        )
+
+
+__all__ = ["REST", "MixEntry", "AdversaryMix"]

@@ -12,6 +12,20 @@ KNOWN_BEHAVIOURS = frozenset(
     {"silent", "crash", "lying_pd", "equivocating_pd", "wrong_value", "equivocating_leader"}
 )
 
+#: Per-behaviour parameter overrides accepted by
+#: :func:`repro.workloads.builders.default_fault_spec` (and therefore by
+#: :class:`repro.adversary.mix.MixEntry` params).  Anything else is rejected
+#: up front: a misspelled override must fail the declaration, not silently
+#: run the experiment with the default.
+BEHAVIOUR_PARAMS: dict[str, frozenset[str]] = {
+    "silent": frozenset(),
+    "crash": frozenset({"at"}),
+    "lying_pd": frozenset(),
+    "equivocating_pd": frozenset(),
+    "wrong_value": frozenset({"poison_value"}),
+    "equivocating_leader": frozenset({"poison_value"}),
+}
+
 
 @dataclass(frozen=True)
 class FaultSpec:

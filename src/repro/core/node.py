@@ -33,7 +33,7 @@ from repro.pbft.messages import Commit, GroupKey, NewView, PrePrepare, Prepare, 
 from repro.pbft.replica import SingleShotPbft
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.sim.process import Process
+from repro.sim.process import PeriodicTimer, Process
 from repro.sim.tracing import SimulationTrace
 
 _PBFT_MESSAGE_TYPES = (PrePrepare, Prepare, Commit, ViewChange, NewView)
@@ -82,7 +82,10 @@ class ConsensusNode(Process):
         self.replica: SingleShotPbft | None = None
 
         self._proposed = False
+        self._decided = False
         self._discovery_active = False
+        self._discovery_timer: PeriodicTimer | None = None
+        self._query_timer: PeriodicTimer | None = None
         self._pending_requesters: set[ProcessId] = set()
         self._pending_pbft: list[tuple[ProcessId, Any]] = []
         self._decided_value_replies: dict[ProcessId, Counter] = {}
@@ -128,8 +131,14 @@ class ConsensusNode(Process):
 
     @property
     def decided(self) -> bool:
-        """Whether this node has decided (``val`` is set)."""
-        return self.value is not None
+        """Whether this node has decided.
+
+        Tracked as an explicit flag rather than ``val is not None``: a
+        Byzantine quorum could push a literal ``None`` decision, and a
+        value-based check would leave the node "undecided", re-querying the
+        members forever.
+        """
+        return self._decided
 
     # ------------------------------------------------------------------
     # Discovery (Algorithm 1)
@@ -139,17 +148,13 @@ class ConsensusNode(Process):
             return
         self._discovery_active = True
         self._discovery_round()
-        self.every(self.config.discovery_period, self._discovery_round, label="discovery")
+        self._discovery_timer = self.every(
+            self.config.discovery_period, self._discovery_round, label="discovery"
+        )
 
     def _discovery_round(self) -> None:
         """Line 2 of Algorithm 1: ask every known process for its PDs."""
         if not self._discovery_active:
-            return
-        if (
-            self.config.stop_discovery_after_identification
-            and self.identified_members is not None
-        ):
-            self._discovery_active = False
             return
         self.send_to_all(self.discovery.known, GetPds())
 
@@ -183,7 +188,16 @@ class ConsensusNode(Process):
         self.identified_at = self.now
         self.estimated_fault_threshold = self.locator.estimated_fault_threshold()
         self.trace.on_sink_identified(self.process_id, members, self.now)
+        if self.config.stop_discovery_after_identification:
+            self._stop_discovery()
         self._after_identification()
+
+    def _stop_discovery(self) -> None:
+        """Cancel the periodic GETPDS rounds (the timer dies, not just the body)."""
+        self._discovery_active = False
+        if self._discovery_timer is not None:
+            self._discovery_timer.cancel()
+            self._discovery_timer = None
 
     def _after_identification(self) -> None:
         """Algorithm 3, lines 3-7: act as a member or as a non-member."""
@@ -193,7 +207,9 @@ class ConsensusNode(Process):
             self._start_inner_consensus()
         else:
             self._query_round()
-            self.every(self.config.query_period, self._query_round, label="query decided value")
+            self._query_timer = self.every(
+                self.config.query_period, self._query_round, label="query decided value"
+            )
 
     # ------------------------------------------------------------------
     # Inner consensus (members)
@@ -257,9 +273,12 @@ class ConsensusNode(Process):
             return
         if sender not in self.identified_members:
             return
-        previous = self._decided_value_votes.get(sender)
-        if previous is not None:
-            return  # only the first reply of each member counts
+        if sender in self._decided_value_votes:
+            # Only the first reply of each member counts.  Membership (not a
+            # ``get(...) is not None`` check) is what closes the Byzantine
+            # double-vote hole: a member whose first reply was ``None`` must
+            # not get a second, different vote.
+            return
         self._decided_value_votes[sender] = message.value
         counts = Counter(self._decided_value_votes.values())
         needed = math.ceil((len(self.identified_members) + 1) / 2)
@@ -271,10 +290,15 @@ class ConsensusNode(Process):
     # Deciding
     # ------------------------------------------------------------------
     def _decide(self, value: Any) -> None:
-        if self.decided:
+        if self._decided:
             return  # Integrity: decide at most once.
+        self._decided = True
         self.value = value
         self.decided_at = self.now
+        if self._query_timer is not None:
+            # Non-members stop asking for the decided value once they have it.
+            self._query_timer.cancel()
+            self._query_timer = None
         self.trace.on_decision(self.process_id, value, self.now)
         requesters, self._pending_requesters = self._pending_requesters, set()
         for requester in sorted(requesters, key=repr):

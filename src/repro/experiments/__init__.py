@@ -38,6 +38,7 @@ from repro.experiments.cache import GraphAnalysis, GraphAnalysisCache, analyze_g
 from repro.experiments.results import GroupStats, ScenarioOutcome, SuiteResult
 from repro.experiments.runner import SuiteExecutionError, SuiteRunner, execute_scenario
 from repro.experiments.scenario import (
+    AdversaryMix,
     GraphSpec,
     Scenario,
     ScenarioMatrix,
@@ -46,6 +47,7 @@ from repro.experiments.scenario import (
 )
 
 __all__ = [
+    "AdversaryMix",
     "GraphSpec",
     "SynchronySpec",
     "Scenario",

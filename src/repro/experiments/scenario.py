@@ -32,6 +32,7 @@ from dataclasses import dataclass, field, replace
 from itertools import product
 from typing import Any
 
+from repro.adversary.mix import AdversaryMix
 from repro.core.config import ProtocolMode
 from repro.core.seeding import derive_seed
 from repro.graphs.figures import FigureScenario, paper_figures
@@ -232,6 +233,10 @@ class Scenario:
     graph: GraphSpec
     mode: ProtocolMode = ProtocolMode.BFT_CUPFT
     behaviour: str = "silent"
+    #: Optional heterogeneous per-process fault assignment.  When set it
+    #: supersedes ``behaviour`` (which is kept purely as a report label);
+    #: plain behaviour strings remain the homogeneous shorthand.
+    mix: AdversaryMix | None = None
     synchrony: SynchronySpec = SynchronySpec(kind="partial")
     seed: int = 0
     horizon: float = 5_000.0
@@ -240,6 +245,14 @@ class Scenario:
     protocol_options: Params = ()
     #: Axis coordinates attached by the matrix (used for grouping/reporting).
     labels: Params = ()
+
+    def __post_init__(self) -> None:
+        if self.mix is not None and self.behaviour == "silent":
+            # A mix supersedes the behaviour string; leaving the constructor
+            # default in place would let reports misattribute heterogeneous
+            # cells to "silent".  (The matrix sets this explicitly; this
+            # covers directly constructed scenarios.)
+            object.__setattr__(self, "behaviour", self.mix.key)
 
     def label(self, key: str, default: Any = None) -> Any:
         """Look up one axis coordinate recorded by the matrix."""
@@ -256,10 +269,14 @@ class Scenario:
         """Faithful JSON representation (suite exports, job files, digests).
 
         The encoding is lossless for every declarative field — enum-valued
-        protocol options are tagged rather than ``repr``'d — so
-        :meth:`from_dict` reconstructs an equal scenario in any process.
+        protocol options are tagged rather than ``repr``'d, adversary mixes
+        are encoded entry by entry — so :meth:`from_dict` reconstructs an
+        equal scenario in any process.  The ``mix`` key is only present when
+        a mix is set, which keeps the encoding (and therefore
+        :meth:`cell_digest`) of plain behaviour-string scenarios
+        byte-identical to pre-mix releases.
         """
-        return {
+        payload = {
             "name": self.name,
             "graph": self.graph.to_dict(),
             "mode": self.mode.value,
@@ -270,6 +287,9 @@ class Scenario:
             "protocol_options": {name: _encode_value(value) for name, value in self.protocol_options},
             "labels": {name: value for name, value in self.labels},
         }
+        if self.mix is not None:
+            payload["mix"] = self.mix.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
@@ -285,6 +305,7 @@ class Scenario:
             graph=GraphSpec.from_dict(payload["graph"]),
             mode=ProtocolMode(payload["mode"]),
             behaviour=payload["behaviour"],
+            mix=AdversaryMix.from_dict(payload["mix"]) if payload.get("mix") else None,
             synchrony=SynchronySpec.from_dict(payload["synchrony"]),
             seed=payload["seed"],
             horizon=payload["horizon"],
@@ -311,18 +332,24 @@ class Scenario:
 class ScenarioMatrix:
     """Cartesian sweep builder over every experiment axis.
 
-    The expansion order is deterministic (graphs × modes × behaviours ×
-    synchrony × replicate), and every cell's run seed is derived from the
+    The expansion order is deterministic (graphs × modes × adversaries ×
+    synchrony × replicate, where the adversary axis is ``behaviours``
+    followed by ``mixes``), and every cell's run seed is derived from the
     matrix ``base_seed`` and the cell's coordinates with
     :func:`~repro.core.seeding.derive_seed` — so two expansions of an equal
     matrix (in any process) produce identical scenario lists, while distinct
-    cells get statistically independent seeds.
+    cells get statistically independent seeds.  Behaviour strings and
+    declarative :class:`~repro.adversary.mix.AdversaryMix` cells coexist on
+    the adversary axis; a behaviours-only matrix expands (names, labels,
+    seeds and digests) exactly as it did before mixes existed.
     """
 
     name: str
     graphs: tuple[GraphSpec, ...]
     modes: tuple[ProtocolMode, ...] = (ProtocolMode.BFT_CUPFT,)
     behaviours: tuple[str, ...] = ("silent",)
+    #: Heterogeneous adversary cells, swept alongside ``behaviours``.
+    mixes: tuple[AdversaryMix, ...] = ()
     synchrony: tuple[SynchronySpec, ...] = (SynchronySpec(kind="partial"),)
     #: Number of seed replicates per cell.
     replicates: int = 1
@@ -334,18 +361,21 @@ class ScenarioMatrix:
         self.graphs = tuple(self.graphs)
         self.modes = tuple(self.modes)
         self.behaviours = tuple(self.behaviours)
+        self.mixes = tuple(self.mixes)
         self.synchrony = tuple(self.synchrony)
         self.protocol_options = tuple(self.protocol_options)
         if self.replicates < 1:
             raise ValueError("replicates must be at least 1")
         if not self.graphs:
             raise ValueError("a matrix needs at least one graph spec")
+        if not self.behaviours and not self.mixes:
+            raise ValueError("a matrix needs at least one behaviour or mix")
 
     def __len__(self) -> int:
         return (
             len(self.graphs)
             * len(self.modes)
-            * len(self.behaviours)
+            * (len(self.behaviours) + len(self.mixes))
             * len(self.synchrony)
             * self.replicates
         )
@@ -353,32 +383,40 @@ class ScenarioMatrix:
     def scenarios(self) -> list[Scenario]:
         """Expand the matrix into its deterministic scenario list."""
         cells: list[Scenario] = []
-        for graph, mode, behaviour, synchrony in product(
-            self.graphs, self.modes, self.behaviours, self.synchrony
+        adversaries: tuple[str | AdversaryMix, ...] = self.behaviours + self.mixes
+        for graph, mode, adversary, synchrony in product(
+            self.graphs, self.modes, adversaries, self.synchrony
         ):
+            mix = adversary if isinstance(adversary, AdversaryMix) else None
+            adversary_key = mix.key if mix is not None else adversary
             for replicate in range(self.replicates):
-                coordinates = (graph.key, mode.value, behaviour, synchrony.key, replicate)
+                coordinates = (graph.key, mode.value, adversary_key, synchrony.key, replicate)
                 seed = derive_seed(self.base_seed, *coordinates)
+                labels = {
+                    "matrix": self.name,
+                    "graph": graph.key,
+                    "mode": mode.value,
+                    "behaviour": adversary_key,
+                    "synchrony": synchrony.key,
+                    "replicate": replicate,
+                }
+                if mix is not None:
+                    # Extra axis label for mix cells only: plain behaviour
+                    # cells keep their label set (and hence their
+                    # ``cell_digest``) byte-identical to pre-mix releases.
+                    labels["mix"] = mix.key
                 cells.append(
                     Scenario(
                         name=f"{self.name}[{'|'.join(map(str, coordinates))}]",
                         graph=graph,
                         mode=mode,
-                        behaviour=behaviour,
+                        behaviour=adversary_key,
+                        mix=mix,
                         synchrony=synchrony,
                         seed=seed,
                         horizon=self.horizon,
                         protocol_options=self.protocol_options,
-                        labels=_freeze_params(
-                            {
-                                "matrix": self.name,
-                                "graph": graph.key,
-                                "mode": mode.value,
-                                "behaviour": behaviour,
-                                "synchrony": synchrony.key,
-                                "replicate": replicate,
-                            }
-                        ),
+                        labels=_freeze_params(labels),
                     )
                 )
         return cells
@@ -393,6 +431,7 @@ def chain_matrices(*matrices: ScenarioMatrix) -> list[Scenario]:
 
 
 __all__ = [
+    "AdversaryMix",
     "GraphSpec",
     "SynchronySpec",
     "Scenario",

@@ -18,6 +18,48 @@ from repro.sim.messages import Envelope
 from repro.sim.network import Network
 
 
+class PeriodicTimer:
+    """Cancellable handle for a repeating timer created by :meth:`Process.every`.
+
+    The underlying simulator event changes on every tick, so a plain
+    :class:`~repro.sim.engine.EventHandle` cannot represent the timer;
+    this handle always points at the *current* tick event and cancelling it
+    both cancels that event and stops the rescheduling loop.
+    """
+
+    __slots__ = ("_owner", "_period", "_callback", "_label", "_handle", "_cancelled")
+
+    def __init__(
+        self, owner: "Process", period: float, callback: Callable[[], None], label: str
+    ) -> None:
+        self._owner = owner
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._cancelled = False
+        self._handle = owner.simulator.schedule(period, self._tick, label)
+
+    def _tick(self) -> None:
+        if self._cancelled or self._owner.stopped:
+            return
+        self._callback()
+        if self._cancelled or self._owner.stopped:
+            return  # the callback cancelled the timer (or stopped the process)
+        self._handle = self._owner.simulator.schedule(self._period, self._tick, self._label)
+
+    def cancel(self) -> None:
+        """Stop the timer: cancel the pending tick and never reschedule."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self._handle.cancel()
+        self._owner._timers.discard(self)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
 class Process:
     """A protocol process attached to a simulator and a network."""
 
@@ -33,7 +75,7 @@ class Process:
         self.simulator = simulator
         self.network = network
         self._handlers: dict[type, Callable[[ProcessId, Any], None]] = {}
-        self._timers: list[EventHandle] = []
+        self._timers: set[EventHandle | PeriodicTimer] = set()
         self._stopped = False
         network.register(self)
 
@@ -46,7 +88,7 @@ class Process:
     def stop(self) -> None:
         """Stop taking steps (cancels every pending timer)."""
         self._stopped = True
-        for handle in self._timers:
+        for handle in tuple(self._timers):
             handle.cancel()
         self._timers.clear()
 
@@ -95,29 +137,34 @@ class Process:
     # timers
     # ------------------------------------------------------------------
     def after(self, delay: float, callback: Callable[[], None], label: str = "") -> EventHandle:
-        """Run ``callback`` once, ``delay`` time units from now."""
+        """Run ``callback`` once, ``delay`` time units from now.
+
+        Fired handles are pruned from the process's timer registry, so
+        long-lived processes scheduling many one-shots (PBFT view timers,
+        re-requests) do not accumulate dead handles.
+        """
+        handle: EventHandle
+
         def guarded() -> None:
+            self._timers.discard(handle)
             if not self._stopped:
                 callback()
 
         handle = self.simulator.schedule(delay, guarded, label or f"{self.process_id!r} one-shot")
-        self._timers.append(handle)
+        self._timers.add(handle)
         return handle
 
-    def every(self, period: float, callback: Callable[[], None], label: str = "") -> None:
-        """Run ``callback`` every ``period`` time units until the process stops."""
+    def every(self, period: float, callback: Callable[[], None], label: str = "") -> PeriodicTimer:
+        """Run ``callback`` every ``period`` time units until cancelled.
+
+        Returns a :class:`PeriodicTimer`; cancelling it stops the ticks for
+        good (:meth:`stop` cancels every outstanding timer as before).
+        """
         if period <= 0:
             raise ValueError("period must be positive")
-
-        def tick() -> None:
-            if self._stopped:
-                return
-            callback()
-            handle = self.simulator.schedule(period, tick, label or f"{self.process_id!r} periodic")
-            self._timers.append(handle)
-
-        handle = self.simulator.schedule(period, tick, label or f"{self.process_id!r} periodic")
-        self._timers.append(handle)
+        timer = PeriodicTimer(self, period, callback, label or f"{self.process_id!r} periodic")
+        self._timers.add(timer)
+        return timer
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(id={self.process_id!r})"

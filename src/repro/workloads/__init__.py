@@ -2,8 +2,10 @@
 
 from repro.workloads.builders import (
     default_fault_spec,
+    fault_assignment,
     figure_run_config,
     generated_run_config,
+    mix_fault_specs,
     scenario_run_config,
 )
 
@@ -12,4 +14,6 @@ __all__ = [
     "generated_run_config",
     "scenario_run_config",
     "default_fault_spec",
+    "fault_assignment",
+    "mix_fault_specs",
 ]

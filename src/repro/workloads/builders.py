@@ -6,6 +6,11 @@ knowledge connectivity graph, the fault assignment and the fault threshold;
 the builders below add the remaining run parameters: which protocol mode to
 use, how the faulty processes behave, the synchrony model and the proposals.
 
+The adversary side of every builder accepts either a single behaviour name
+(applied to every faulty process) or an
+:class:`~repro.adversary.mix.AdversaryMix` (a heterogeneous, per-process
+assignment placed deterministically from the run seed).
+
 :func:`scenario_run_config` is the bridge used by the experiment suite
 runner: it materialises a declarative scenario into a concrete run config
 inside the executing process, which is what keeps scenarios picklable.
@@ -15,7 +20,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
-from repro.adversary.spec import FaultSpec
+from repro.adversary.mix import AdversaryMix
+from repro.adversary.spec import BEHAVIOUR_PARAMS, FaultSpec
 from repro.analysis.harness import RunConfig
 from repro.core.config import ProtocolConfig, ProtocolMode
 from repro.graphs.figures import FigureScenario
@@ -26,21 +32,73 @@ from repro.sim.network import PartialSynchronyModel, SynchronyModel
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.scenario import Scenario
 
+def default_fault_spec(
+    behaviour: str, scenario_graph_processes: frozenset[ProcessId], **params: Any
+) -> FaultSpec:
+    """Build a :class:`FaultSpec` for a named behaviour with sensible defaults.
 
-def default_fault_spec(behaviour: str, scenario_graph_processes: frozenset[ProcessId]) -> FaultSpec:
-    """Build a :class:`FaultSpec` for a named behaviour with sensible defaults."""
+    Every entry of :data:`~repro.adversary.spec.KNOWN_BEHAVIOURS` has a
+    default here, so matrix sweeps over all known behaviours build.
+    ``params`` override the per-behaviour defaults (``at`` for ``crash``,
+    ``poison_value`` for the value-poisoning behaviours); overrides the
+    behaviour does not accept are rejected rather than silently ignored.
+    """
+    allowed = BEHAVIOUR_PARAMS.get(behaviour, frozenset())
+    unknown = set(params) - allowed
+    if unknown:
+        raise ValueError(
+            f"behaviour {behaviour!r} accepts no parameter named {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
     if behaviour == "silent":
         return FaultSpec.silent()
     if behaviour == "crash":
-        return FaultSpec.crash(at=25.0)
+        return FaultSpec.crash(at=params.get("at", 25.0))
     if behaviour == "lying_pd":
         # Claim to know (almost) everyone: the classic over-claiming lie.
         return FaultSpec.lying_pd(frozenset(scenario_graph_processes))
+    if behaviour == "equivocating_pd":
+        # Two fabricated halves of the participant space: one story for the
+        # first half of the identifier space, another for the second.
+        members = sorted(scenario_graph_processes, key=repr)
+        split = (len(members) + 1) // 2
+        first = frozenset(members[:split])
+        second = frozenset(members[split:]) or first
+        return FaultSpec.equivocating_pd(first, second)
     if behaviour == "wrong_value":
-        return FaultSpec.wrong_value()
+        return FaultSpec.wrong_value(**params)
     if behaviour == "equivocating_leader":
-        return FaultSpec.equivocating_leader()
+        return FaultSpec.equivocating_leader(**params)
     raise ValueError(f"no default for behaviour {behaviour!r}")
+
+
+def mix_fault_specs(
+    mix: AdversaryMix,
+    faulty: frozenset[ProcessId],
+    scenario_graph_processes: frozenset[ProcessId],
+    *,
+    seed: int = 0,
+) -> dict[ProcessId, FaultSpec]:
+    """Materialise a declarative mix into one :class:`FaultSpec` per faulty process."""
+    return {
+        process: default_fault_spec(entry.behaviour, scenario_graph_processes, **dict(entry.params))
+        for process, entry in mix.assign(faulty, seed=seed).items()
+    }
+
+
+def fault_assignment(
+    behaviour: "str | AdversaryMix",
+    faulty: frozenset[ProcessId],
+    scenario_graph_processes: frozenset[ProcessId],
+    *,
+    seed: int = 0,
+) -> dict[ProcessId, FaultSpec]:
+    """The fault assignment for one run: homogeneous fanout or a per-process mix."""
+    if isinstance(behaviour, AdversaryMix):
+        return mix_fault_specs(behaviour, faulty, scenario_graph_processes, seed=seed)
+    return {
+        process: default_fault_spec(behaviour, scenario_graph_processes) for process in faulty
+    }
 
 
 def _protocol_for(mode: ProtocolMode, fault_threshold: int, **protocol_kwargs) -> ProtocolConfig:
@@ -53,7 +111,7 @@ def figure_run_config(
     scenario: FigureScenario,
     *,
     mode: ProtocolMode = ProtocolMode.BFT_CUP,
-    behaviour: str = "silent",
+    behaviour: "str | AdversaryMix" = "silent",
     proposals: dict[ProcessId, Any] | None = None,
     synchrony: SynchronyModel | None = None,
     seed: int = 0,
@@ -61,10 +119,7 @@ def figure_run_config(
     **protocol_kwargs,
 ) -> RunConfig:
     """Build a run configuration for a reconstructed paper figure."""
-    faulty = {
-        process: default_fault_spec(behaviour, scenario.graph.processes)
-        for process in scenario.faulty
-    }
+    faulty = fault_assignment(behaviour, scenario.faulty, scenario.graph.processes, seed=seed)
     protocol = _protocol_for(mode, scenario.fault_threshold, **protocol_kwargs)
     return RunConfig(
         graph=scenario.graph,
@@ -80,16 +135,18 @@ def figure_run_config(
 def scenario_run_config(scenario: "Scenario") -> RunConfig:
     """Materialise a declarative experiment scenario into a :class:`RunConfig`.
 
-    The graph, synchrony model and protocol configuration are all built
-    here, from the scenario's declarative specs — never shipped across
-    process boundaries — so the suite runner can execute the same scenario
-    identically in-process or on a worker.
+    The graph, synchrony model, fault assignment and protocol configuration
+    are all built here, from the scenario's declarative specs — never
+    shipped across process boundaries — so the suite runner can execute the
+    same scenario identically in-process or on a worker.
     """
     built = scenario.graph.build()
-    faulty = {
-        process: default_fault_spec(scenario.behaviour, built.graph.processes)
-        for process in built.faulty
-    }
+    adversary: "str | AdversaryMix" = (
+        scenario.mix if scenario.mix is not None else scenario.behaviour
+    )
+    faulty = fault_assignment(
+        adversary, built.faulty, built.graph.processes, seed=scenario.seed
+    )
     protocol = _protocol_for(
         scenario.mode, built.fault_threshold, **dict(scenario.protocol_options)
     )
@@ -107,7 +164,7 @@ def generated_run_config(
     scenario: GeneratedScenario,
     *,
     mode: ProtocolMode = ProtocolMode.BFT_CUPFT,
-    behaviour: str = "silent",
+    behaviour: "str | AdversaryMix" = "silent",
     proposals: dict[ProcessId, Any] | None = None,
     synchrony: SynchronyModel | None = None,
     seed: int = 0,
@@ -115,10 +172,7 @@ def generated_run_config(
     **protocol_kwargs,
 ) -> RunConfig:
     """Build a run configuration for a generated random scenario."""
-    faulty = {
-        process: default_fault_spec(behaviour, scenario.graph.processes)
-        for process in scenario.faulty
-    }
+    faulty = fault_assignment(behaviour, scenario.faulty, scenario.graph.processes, seed=seed)
     protocol = _protocol_for(mode, scenario.fault_threshold, **protocol_kwargs)
     return RunConfig(
         graph=scenario.graph,

@@ -1,7 +1,10 @@
-"""Tests for the fault specifications and faulty node behaviours."""
+"""Tests for the fault specifications, adversary mixes and faulty node behaviours."""
+
+import pickle
 
 import pytest
 
+from repro.adversary.mix import REST, AdversaryMix, MixEntry
 from repro.adversary.spec import FaultSpec
 from repro.adversary.nodes import build_faulty_node
 from repro.analysis import run_consensus
@@ -28,6 +31,81 @@ class TestFaultSpec:
         equivocating = FaultSpec.equivocating_pd(frozenset({1}), frozenset({2}))
         assert equivocating.alternate_pd == {2}
         assert FaultSpec.wrong_value("bad").poison_value == "bad"
+
+
+class TestAdversaryMix:
+    def test_of_preserves_entry_order(self):
+        mix = AdversaryMix.of(equivocating_pd=1, silent=REST)
+        assert [entry.behaviour for entry in mix.entries] == ["equivocating_pd", "silent"]
+        assert mix.key == "mix(equivocating_pd:1,silent:rest)"
+        assert AdversaryMix.of("combo", lying_pd=2, crash=1).key == "mix:combo(lying_pd:2,crash:1)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdversaryMix.of()  # no entries
+        with pytest.raises(ValueError):
+            AdversaryMix.of(teleport=1)  # unknown behaviour
+        with pytest.raises(ValueError):
+            AdversaryMix.of(silent=REST, crash=REST)  # two rests
+        with pytest.raises(ValueError):
+            MixEntry(behaviour="silent", count=-1)
+        with pytest.raises(ValueError):
+            MixEntry(behaviour="silent", count="half")
+        with pytest.raises(ValueError):
+            MixEntry(behaviour="silent", count=True)
+        with pytest.raises(ValueError):
+            # Misspelled override: must fail the declaration, not silently
+            # run the experiment with the default crash time.
+            MixEntry(behaviour="crash", params=(("crash_at", 10.0),))
+        with pytest.raises(ValueError):
+            MixEntry(behaviour="lying_pd", params=(("at", 5.0),))
+        assert MixEntry(behaviour="crash", params=(("at", 10.0),)).params == (("at", 10.0),)
+
+    def test_assign_covers_every_faulty_process(self):
+        mix = AdversaryMix.of(equivocating_pd=1, crash=1, silent=REST)
+        faulty = frozenset({4, 7, 9, 12})
+        assignment = mix.assign(faulty, seed=3)
+        assert set(assignment) == faulty
+        behaviours = sorted(entry.behaviour for entry in assignment.values())
+        assert behaviours == ["crash", "equivocating_pd", "silent", "silent"]
+
+    def test_assign_is_deterministic_per_seed_and_varies_across_seeds(self):
+        mix = AdversaryMix.of(equivocating_pd=1, silent=REST)
+        faulty = frozenset(range(10))
+        first = mix.assign(faulty, seed=1)
+        assert first == mix.assign(faulty, seed=1)
+        placements = {
+            next(p for p, e in mix.assign(faulty, seed=s).items() if e.behaviour == "equivocating_pd")
+            for s in range(12)
+        }
+        assert len(placements) > 1  # the equivocator is not pinned to one process
+
+    def test_assign_rejects_impossible_mixes(self):
+        with pytest.raises(ValueError):
+            AdversaryMix.of(crash=3, silent=REST).assign(frozenset({1, 2}), seed=0)
+        with pytest.raises(ValueError):
+            # No rest entry to absorb the second faulty process.
+            AdversaryMix.of(crash=1).assign(frozenset({1, 2}), seed=0)
+        assert AdversaryMix.of(crash=1).minimum_faulty() == 1
+
+    def test_rest_may_be_empty(self):
+        mix = AdversaryMix.of(lying_pd=1, silent=REST)
+        assignment = mix.assign(frozenset({4}), seed=0)
+        assert [entry.behaviour for entry in assignment.values()] == ["lying_pd"]
+
+    def test_json_round_trip_and_pickle(self):
+        mix = AdversaryMix(
+            entries=(
+                MixEntry(behaviour="crash", count=1, params=(("at", 10.0),)),
+                MixEntry(behaviour="silent", count=REST),
+            ),
+            name="late-crash",
+        )
+        assert AdversaryMix.from_dict(mix.to_dict()) == mix
+        assert pickle.loads(pickle.dumps(mix)) == mix
+        import json
+
+        assert AdversaryMix.from_dict(json.loads(json.dumps(mix.to_dict()))) == mix
 
 
 def build_world(figures, behaviour_spec):

@@ -4,6 +4,7 @@ import pickle
 
 import pytest
 
+from repro.adversary.mix import AdversaryMix
 from repro.core import ProtocolMode
 from repro.core.seeding import derive_seed
 from repro.experiments import (
@@ -111,6 +112,52 @@ class TestScenario:
         assert pickle.loads(pickle.dumps(scenario)) == scenario
 
 
+class TestScenarioCodec:
+    MIX = AdversaryMix.of("one-equivocator", equivocating_pd=1, silent="rest")
+
+    def test_plain_round_trip(self):
+        scenario = Scenario(name="s", graph=GraphSpec.bft_cup(f=1, seed=0), seed=5)
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_mix_round_trip_is_lossless(self):
+        import json
+
+        scenario = Scenario(
+            name="s", graph=GraphSpec.figure("fig4b"), mix=self.MIX, behaviour=self.MIX.key
+        )
+        payload = json.loads(json.dumps(scenario.to_dict()))
+        rebuilt = Scenario.from_dict(payload)
+        assert rebuilt == scenario
+        assert rebuilt.mix == self.MIX
+        assert rebuilt.cell_digest() == scenario.cell_digest()
+
+    def test_plain_scenarios_have_no_mix_key(self):
+        # The absence of the key is what keeps plain digests byte-identical
+        # across the introduction of the mix axis.
+        assert "mix" not in Scenario(name="s", graph=GraphSpec.figure("fig1b")).to_dict()
+
+    def test_plain_digests_are_byte_identical_to_pre_mix_releases(self):
+        # Pinned against the seed implementation (before mixes existed):
+        # these digests key every previously journaled outcome and job file.
+        scenario = Scenario(name="s", graph=GraphSpec.figure("fig1b"), seed=5)
+        assert (
+            scenario.cell_digest()
+            == "1c5422632c9964bbf16b2304a9e0b2d18241ac6b28388a9f992f0ab745dcbd5b"
+        )
+
+    def test_mix_changes_the_digest(self):
+        plain = Scenario(name="s", graph=GraphSpec.figure("fig4b"))
+        mixed = Scenario(name="s", graph=GraphSpec.figure("fig4b"), mix=self.MIX)
+        assert plain.cell_digest() != mixed.cell_digest()
+
+    def test_directly_constructed_mix_scenario_reports_the_mix_not_silent(self):
+        # The constructor default behaviour ("silent") must not leak into
+        # reports for cells whose adversary is actually a mix.
+        mixed = Scenario(name="s", graph=GraphSpec.figure("fig4b"), mix=self.MIX)
+        assert mixed.behaviour == self.MIX.key
+        assert Scenario.from_dict(mixed.to_dict()) == mixed
+
+
 class TestScenarioMatrix:
     def matrix(self):
         return ScenarioMatrix(
@@ -162,3 +209,68 @@ class TestScenarioMatrix:
         chained = chain_matrices(first, second)
         assert len(chained) == len(first) + len(second)
         assert chained[-1].label("matrix") == "n"
+
+    def test_pinned_expansion_is_stable_across_the_mix_axis_introduction(self):
+        # Pinned against the seed implementation: a behaviours-only matrix
+        # must expand to byte-identical names, seeds and digests with the
+        # mixes axis present (these values key recorded trajectories).
+        cells = self.matrix().scenarios()
+        assert [cell.seed for cell in cells[:3]] == [
+            4641119065187493931,
+            8681879224742414831,
+            2003822327597889422,
+        ]
+        assert cells[0].name == "m[figure(name='fig1b')|bft-cup|silent|partial()|0]"
+        assert [cell.cell_digest() for cell in cells[:3]] == [
+            "b6a9609478b771f36093e1b6635ddc81fac7d212ea36957e80cf696219eb13a5",
+            "b21e352e06d1026d8911eb0e332e9bc114b1bf586ff7efc27f2324b2d7a8c56a",
+            "b1079746c43c3276f45e88c39f11d356cb405ef6cd16798752d5f79d5176e540",
+        ]
+
+
+class TestMixAxis:
+    MIXES = (
+        AdversaryMix.of("one-equivocator", equivocating_pd=1, silent="rest"),
+        AdversaryMix.of(lying_pd=1, crash="rest"),
+    )
+
+    def matrix(self):
+        return ScenarioMatrix(
+            name="mx",
+            graphs=(GraphSpec.figure("fig4b"),),
+            behaviours=("silent",),
+            mixes=self.MIXES,
+            replicates=2,
+            base_seed=7,
+        )
+
+    def test_size_counts_both_axes(self):
+        assert len(self.matrix()) == 1 * 1 * (1 + 2) * 1 * 2 == len(self.matrix().scenarios())
+
+    def test_mix_cells_carry_the_mix_and_its_labels(self):
+        cells = self.matrix().scenarios()
+        mixed = [cell for cell in cells if cell.mix is not None]
+        assert len(mixed) == 4
+        for cell in mixed:
+            assert cell.label("mix") == cell.mix.key
+            assert cell.label("behaviour") == cell.mix.key
+            assert cell.mix.key in cell.name
+        plain = [cell for cell in cells if cell.mix is None]
+        for cell in plain:
+            assert cell.label("mix") is None
+            assert cell.label("behaviour") == "silent"
+
+    def test_mixes_only_matrix(self):
+        matrix = ScenarioMatrix(
+            name="mx", graphs=(GraphSpec.figure("fig4b"),), behaviours=(), mixes=self.MIXES
+        )
+        assert len(matrix.scenarios()) == 2
+        with pytest.raises(ValueError):
+            ScenarioMatrix(name="mx", graphs=(GraphSpec.figure("fig4b"),), behaviours=())
+
+    def test_expansion_is_deterministic_and_distinctly_seeded(self):
+        cells = self.matrix().scenarios()
+        assert cells == self.matrix().scenarios()
+        assert len({cell.seed for cell in cells}) == len(cells)
+        for cell in cells:
+            assert Scenario.from_dict(cell.to_dict()) == cell

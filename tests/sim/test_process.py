@@ -115,3 +115,47 @@ class TestTimers:
         node.stop()
         simulator.run()
         assert not fired
+
+    def test_every_returns_a_cancellable_handle(self):
+        simulator, network = make_world()
+        fired = []
+        node = Process(1, frozenset(), simulator, network)
+        timer = node.every(2.0, lambda: fired.append(simulator.now))
+        simulator.run(until=lambda: len(fired) == 3)
+        timer.cancel()
+        assert timer.cancelled
+        simulator.run()  # drains: the cancelled timer never reschedules
+        assert fired == [2.0, 4.0, 6.0]
+        assert simulator.pending_events() == 0
+
+    def test_cancelling_a_periodic_timer_twice_is_a_noop(self):
+        simulator, network = make_world()
+        node = Process(1, frozenset(), simulator, network)
+        timer = node.every(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        simulator.run()
+        assert simulator.pending_events() == 0
+
+    def test_fired_one_shot_handles_are_pruned(self):
+        # Regression: fired one-shots used to accumulate in the process's
+        # timer registry forever (and periodic ticks appended a fresh handle
+        # per period), growing without bound on long runs.
+        simulator, network = make_world()
+        node = Process(1, frozenset(), simulator, network)
+        for delay in range(1, 51):
+            node.after(float(delay), lambda: None)
+        simulator.run()
+        assert not node._timers
+
+    def test_periodic_timer_keeps_a_single_registry_entry(self):
+        simulator, network = make_world()
+        fired = []
+        node = Process(1, frozenset(), simulator, network)
+
+        def tick():
+            fired.append(simulator.now)
+
+        node.every(1.0, tick)
+        simulator.run(until=lambda: len(fired) >= 100)
+        assert len(node._timers) == 1

@@ -43,6 +43,76 @@ class TestWorkloadBuilders:
         with pytest.raises(ValueError):
             default_fault_spec("nonsense", processes)
 
+    def test_default_fault_spec_covers_every_known_behaviour(self):
+        # Regression: "equivocating_pd" is in KNOWN_BEHAVIOURS and has a
+        # faulty-node implementation, but the builder used to raise on it,
+        # crashing any matrix sweep over all known behaviours.
+        from repro.adversary.spec import KNOWN_BEHAVIOURS
+
+        processes = frozenset(range(1, 9))
+        for behaviour in sorted(KNOWN_BEHAVIOURS):
+            spec = default_fault_spec(behaviour, processes)
+            assert spec.behaviour == behaviour
+
+    def test_default_equivocating_pd_tells_two_different_stories(self):
+        processes = frozenset(range(1, 9))
+        spec = default_fault_spec("equivocating_pd", processes)
+        assert spec.claimed_pd and spec.alternate_pd
+        assert spec.claimed_pd != spec.alternate_pd
+        assert spec.claimed_pd | spec.alternate_pd == processes
+        # Degenerate single-process graphs still build (both halves equal).
+        tiny = default_fault_spec("equivocating_pd", frozenset({1}))
+        assert tiny.claimed_pd == tiny.alternate_pd == frozenset({1})
+
+    def test_default_fault_spec_param_overrides(self):
+        processes = frozenset({1, 2, 3})
+        assert default_fault_spec("crash", processes, at=99.0).crash_time == 99.0
+        assert default_fault_spec("wrong_value", processes, poison_value="zz").poison_value == "zz"
+
+    def test_default_fault_spec_rejects_unknown_params(self):
+        processes = frozenset({1, 2, 3})
+        with pytest.raises(ValueError):
+            default_fault_spec("crash", processes, crash_at=99.0)  # typo for "at"
+        with pytest.raises(ValueError):
+            default_fault_spec("silent", processes, at=1.0)
+
+    def test_sweep_over_all_known_behaviours_runs(self):
+        # End-to-end: every known behaviour materialises and simulates.
+        from repro.adversary.spec import KNOWN_BEHAVIOURS
+        from repro.analysis import run_consensus
+
+        scenario = figure_1b()
+        for behaviour in sorted(KNOWN_BEHAVIOURS):
+            config = figure_run_config(scenario, mode=ProtocolMode.BFT_CUP, behaviour=behaviour)
+            result = run_consensus(config)
+            assert result.consensus_solved, (behaviour, result.summary())
+
+
+class TestMixBuilders:
+    def test_generated_run_config_accepts_a_mix(self):
+        from repro.adversary.mix import AdversaryMix
+
+        scenario = generate_bft_cupft_graph(f=2, non_core_size=3, seed=1)
+        mix = AdversaryMix.of(equivocating_pd=1, silent="rest")
+        config = generated_run_config(scenario, behaviour=mix, seed=7)
+        assert set(config.faulty) == set(scenario.faulty)
+        behaviours = sorted(spec.behaviour for spec in config.faulty.values())
+        assert behaviours == ["equivocating_pd", "silent"]
+        # Placement is part of the run seed: same seed, same assignment.
+        again = generated_run_config(scenario, behaviour=mix, seed=7)
+        assert {p: s.behaviour for p, s in config.faulty.items()} == {
+            p: s.behaviour for p, s in again.faulty.items()
+        }
+
+    def test_mix_run_solves_consensus(self):
+        from repro.adversary.mix import AdversaryMix
+        from repro.analysis import run_consensus
+
+        scenario = generate_bft_cupft_graph(f=2, non_core_size=3, seed=1)
+        mix = AdversaryMix.of(equivocating_pd=1, silent="rest")
+        result = run_consensus(generated_run_config(scenario, behaviour=mix, seed=3))
+        assert result.consensus_solved, result.summary()
+
 
 class TestModelSubtlety:
     """The DESIGN.md finding: a core strictly inside the safe sink component is fragile.
