@@ -14,11 +14,11 @@ from typing import Any
 
 from repro.adversary.spec import FaultSpec
 from repro.core.config import ProtocolConfig
-from repro.core.messages import GetDecidedValue, GetPds, PdRecord, SetPds
+from repro.core.messages import GetDecidedValue, PdRecord
 from repro.core.node import ConsensusNode
 from repro.crypto.signatures import KeyRegistry, SigningKey
 from repro.graphs.knowledge_graph import ProcessId
-from repro.pbft.messages import GroupKey, PrePrepare
+from repro.pbft.messages import PrePrepare
 from repro.pbft.replica import _preprepare_payload
 from repro.sim.engine import Simulator
 from repro.sim.network import Network

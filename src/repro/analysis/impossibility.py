@@ -27,7 +27,6 @@ from repro.adversary.spec import FaultSpec
 from repro.analysis.harness import RunConfig, RunResult, run_consensus
 from repro.core.config import ProtocolConfig
 from repro.graphs.figures import figure_2a, figure_2b, figure_2c
-from repro.sim.messages import Envelope
 from repro.sim.network import PartialSynchronyModel
 
 GROUP_A = frozenset({1, 2, 3, 4})

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from repro.adversary.spec import FaultSpec
 from repro.analysis.harness import RunConfig, RunResult, run_consensus
 from repro.analysis.tables import render_table
-from repro.core.config import ProtocolConfig, ProtocolMode
+from repro.core.config import ProtocolConfig
 from repro.graphs.figures import figure_1b, figure_4b
 from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
 from repro.sim.network import (

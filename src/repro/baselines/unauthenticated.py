@@ -21,9 +21,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.baselines.reachable_broadcast import DisjointPathTracker, FloodedRecord
-from repro.core.config import ProtocolConfig, ProtocolMode
-from repro.core.discovery import DiscoveryState
-from repro.core.locators import SinkLocator
+from repro.core.config import ProtocolConfig
 from repro.crypto.signatures import KeyRegistry
 from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
 from repro.graphs.predicates import KnowledgeView

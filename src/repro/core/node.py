@@ -26,7 +26,7 @@ from typing import Any
 from repro.core.config import ProtocolConfig, ProtocolMode
 from repro.core.discovery import DiscoveryState
 from repro.core.locators import CoreLocator, SinkLocator
-from repro.core.messages import DecidedValue, GetDecidedValue, GetPds, PdRecord, SetPds
+from repro.core.messages import DecidedValue, GetDecidedValue, GetPds, SetPds
 from repro.crypto.signatures import KeyRegistry, SigningKey
 from repro.graphs.knowledge_graph import ProcessId
 from repro.pbft.messages import Commit, GroupKey, NewView, PrePrepare, Prepare, ViewChange

@@ -7,14 +7,21 @@
   ``cell_digest`` for checkpointing and job-queue identity);
 * :mod:`repro.experiments.backends` -- the :class:`ExecutionBackend`
   protocol and its implementations: :class:`SerialBackend`,
-  :class:`PoolBackend` (local ``multiprocessing``) and
+  :class:`PoolBackend` (local ``multiprocessing``),
   :class:`WorkQueueBackend` (a filesystem job queue drained by independent
-  worker processes), plus the journaled :class:`OutcomeStore`;
+  worker processes) and :class:`RemoteWorkQueueBackend` (the same queue
+  served over TCP to workers on any machine), plus the journaled
+  :class:`OutcomeStore`;
 * :mod:`repro.experiments.runner` -- :class:`SuiteRunner`, executing suites
   on any backend with progress callbacks, fail-fast / collect-all error
   handling and checkpoint/resume via ``run(..., resume=...)``;
 * :mod:`repro.experiments.worker` -- the ``python -m
-  repro.experiments.worker`` CLI that drains a work-queue directory;
+  repro.experiments.worker`` CLI that drains a work-queue directory
+  (``--queue DIR``) or a TCP queue server (``--connect HOST:PORT``);
+* :mod:`repro.experiments.queue_server` -- the ``python -m
+  repro.experiments.queue_server`` CLI serving a queue directory over TCP;
+* :mod:`repro.experiments.regression` -- benchmark-trajectory comparison
+  against committed ``BENCH_*.json`` baselines (the CI regression gate);
 * :mod:`repro.experiments.results` -- :class:`SuiteResult` aggregation
   (per-group mean/median/p95 latency, message totals, solved-rate) with
   JSON/CSV export;
@@ -28,6 +35,10 @@ from repro.experiments.backends import (
     ExecutionBackend,
     OutcomeStore,
     PoolBackend,
+    QueueServer,
+    RemoteQueueClient,
+    RemoteQueueError,
+    RemoteWorkQueueBackend,
     SerialBackend,
     WorkQueue,
     WorkQueueBackend,
@@ -63,6 +74,10 @@ __all__ = [
     "WorkQueue",
     "WorkQueueBackend",
     "WorkQueueError",
+    "QueueServer",
+    "RemoteQueueClient",
+    "RemoteQueueError",
+    "RemoteWorkQueueBackend",
     "OutcomeStore",
     "ScenarioOutcome",
     "GroupStats",

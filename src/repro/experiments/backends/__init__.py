@@ -7,6 +7,12 @@
 * :mod:`repro.experiments.backends.queue` -- :class:`WorkQueueBackend` and
   the filesystem :class:`WorkQueue` it coordinates (atomic-rename claiming,
   JSONL outcome shards, heartbeat + lease reclamation);
+* :mod:`repro.experiments.backends.transport` -- length-prefixed JSON
+  framing shared by the TCP server and client;
+* :mod:`repro.experiments.backends.remote` -- :class:`QueueServer`,
+  :class:`RemoteQueueClient` and :class:`RemoteWorkQueueBackend`, serving
+  the same queue protocol over TCP with batched, replay-safe outcome
+  uploads and streamed per-cell progress;
 * :mod:`repro.experiments.backends.store` -- :class:`OutcomeStore`, the
   append-only outcome journal behind ``SuiteRunner.run(..., resume=...)``.
 """
@@ -26,7 +32,21 @@ from repro.experiments.backends.queue import (
     executor_reference,
     resolve_executor,
 )
+from repro.experiments.backends.remote import (
+    QueueServer,
+    RemoteQueueClient,
+    RemoteQueueError,
+    RemoteWorkQueueBackend,
+    drain_remote,
+)
 from repro.experiments.backends.store import OutcomeStore
+from repro.experiments.backends.transport import (
+    FrameTooLargeError,
+    TransportError,
+    TruncatedFrameError,
+    read_frame,
+    write_frame,
+)
 
 __all__ = [
     "CellResult",
@@ -41,5 +61,15 @@ __all__ = [
     "WorkQueueError",
     "executor_reference",
     "resolve_executor",
+    "QueueServer",
+    "RemoteQueueClient",
+    "RemoteQueueError",
+    "RemoteWorkQueueBackend",
+    "drain_remote",
+    "TransportError",
+    "TruncatedFrameError",
+    "FrameTooLargeError",
+    "read_frame",
+    "write_frame",
     "OutcomeStore",
 ]

@@ -288,19 +288,32 @@ class WorkQueue:
         wall_time: float,
     ) -> None:
         """Durably journal one outcome, then mark the job done."""
-        worker = sanitize_worker_id(worker_id)
         record = {
             "digest": job.digest,
             "scenario": job.scenario.get("name"),
             "summary": summary,
             "error": error,
             "wall_time": wall_time,
-            "worker": worker,
+            "worker": sanitize_worker_id(worker_id),
         }
+        self.journal_record(worker_id, record)
+
+    def journal_record(self, worker_id: str, record: dict[str, Any]) -> None:
+        """Durably append one outcome record to ``worker_id``'s shard.
+
+        The record must carry at least a ``digest``; the matching claim (if
+        this worker still holds one) is moved to ``done/``.  This is the
+        single write path for outcomes: local workers call it through
+        :meth:`report`, and the TCP :class:`QueueServer` journals uploaded
+        batches through it — so the on-disk format, durability (flush +
+        fsync) and claim bookkeeping are identical across transports.
+        """
+        worker = sanitize_worker_id(worker_id)
+        digest = record["digest"]
         line, degraded = encode_record_line(record)
         if degraded:
             warnings.warn(
-                f"outcome of job {job.digest} is not JSON-serialisable; journaling "
+                f"outcome of job {digest} is not JSON-serialisable; journaling "
                 "a repr-encoded record (the coordinator will see strings)",
                 stacklevel=2,
             )
@@ -309,8 +322,9 @@ class WorkQueue:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        claim_path = self.claimed / f"{digest}{_CLAIM_SEP}{worker}.json"
         try:
-            job.claim_path.rename(self.done / f"{job.digest}.json")
+            claim_path.rename(self.done / f"{digest}.json")
         except FileNotFoundError:
             pass  # claim was reclaimed while we executed; the outcome still counts
 
@@ -357,6 +371,9 @@ class WorkQueueBackend:
         self.lease = lease
         self.idle_timeout = idle_timeout
         self.timeout = timeout
+        #: The worker processes spawned by the current execute() call, exposed
+        #: so harnesses (e.g. the CI chaos smoke) can kill one mid-sweep.
+        self.procs: list[subprocess.Popen[bytes]] = []
 
     @property
     def processes(self) -> int:
@@ -388,15 +405,16 @@ class WorkQueueBackend:
                         float(record.get("wall_time") or 0.0),
                     )
 
-        procs = (
-            [self._spawn(queue, worker) for worker in range(self.workers)] if outstanding else []
-        )
+        procs: list[subprocess.Popen[bytes]] = []
         started = time.monotonic()
         dead_worker_strikes = 0
         try:
+            if outstanding:
+                self._setup(queue)
+                procs = self.procs = [self._spawn(queue, worker) for worker in range(self.workers)]
             while outstanding:
                 progressed = False
-                for record in queue.read_new_outcomes(offsets):
+                for record in self._poll_records(queue, offsets):
                     digest = record["digest"]
                     if digest not in outstanding:
                         continue  # duplicate report (reclaimed + finished twice)
@@ -438,12 +456,27 @@ class WorkQueueBackend:
                 time.sleep(self.poll_interval)
         finally:
             self._shutdown(procs)
+            self._teardown()
 
-    # Local worker processes -------------------------------------------------
-    def _spawn(self, queue: WorkQueue, number: int) -> "subprocess.Popen[bytes]":
-        worker_id = f"local-{os.getpid()}-{number}"
-        log = open(queue.workers / f"{worker_id}.log", "ab")
-        command = [
+    # Transport hooks --------------------------------------------------------
+    # The collect loop above is transport-agnostic; subclasses specialise
+    # how workers reach the queue (RemoteWorkQueueBackend starts a TCP
+    # server in _setup and hands workers --connect instead of --queue) and
+    # where fresh outcome records come from (shards only here; shards plus
+    # the streamed progress events on the TCP path).
+    def _setup(self, queue: WorkQueue) -> None:
+        """Start transport infrastructure before any worker is spawned."""
+
+    def _teardown(self) -> None:
+        """Tear down whatever :meth:`_setup` started (always called)."""
+
+    def _poll_records(self, queue: WorkQueue, offsets: dict[str, int]) -> list[dict[str, Any]]:
+        """Fresh outcome records since the last poll."""
+        return queue.read_new_outcomes(offsets)
+
+    def _worker_command(self, queue: WorkQueue, worker_id: str) -> list[str]:
+        """The argv used to spawn one local worker process."""
+        return [
             sys.executable,
             "-m",
             "repro.experiments.worker",
@@ -458,6 +491,12 @@ class WorkQueueBackend:
             "--idle-timeout",
             str(self.idle_timeout),
         ]
+
+    # Local worker processes -------------------------------------------------
+    def _spawn(self, queue: WorkQueue, number: int) -> "subprocess.Popen[bytes]":
+        worker_id = f"local-{os.getpid()}-{number}"
+        log = open(queue.workers / f"{worker_id}.log", "ab")
+        command = self._worker_command(queue, worker_id)
         env = dict(os.environ)
         # Propagate the coordinator's import path so executors defined in
         # repo-local modules (benchmarks, tests, scripts) resolve in workers.

@@ -1,0 +1,755 @@
+"""TCP transport for the work queue: server, worker client and backend.
+
+The filesystem :class:`~repro.experiments.backends.queue.WorkQueue` requires
+every worker to share the coordinator's filesystem.  This module lifts that
+requirement without changing the queue protocol: a :class:`QueueServer`
+(run in-process by :class:`RemoteWorkQueueBackend`, or standalone via
+``python -m repro.experiments.queue_server``) owns the queue directory and
+serves the *same* job/outcome JSON records over length-prefixed frames
+(:mod:`~repro.experiments.backends.transport`), so workers on any machine
+can drain a suite with ``python -m repro.experiments.worker --connect
+host:port``.
+
+Design points:
+
+* **Claiming, leases and heartbeats are unchanged.**  The server maps each
+  request onto the filesystem queue's own primitives — ``claim`` is still
+  an atomic rename, every request from a worker refreshes that worker's
+  heartbeat file, and the coordinator's reclamation loop reclaims dead
+  *remote* workers exactly as it reclaims dead local ones.
+* **Batched, replay-safe outcome uploads.**  Workers journal outcomes in
+  batches (``--batch-size``); each batch carries a per-worker sequence
+  number so a batch re-sent after a lost ACK or a reconnect is applied at
+  most once per server life (no duplicate journal entries).
+* **Streamed progress.**  The moment a cell finishes, the worker streams a
+  ``cell-finished`` event carrying the outcome record; the backend yields
+  it immediately, so :class:`~repro.experiments.runner.SuiteRunner`'s
+  progress callback fires per cell even while durable uploads are batched.
+* **The journal stays coordinator-side.**  Outcome shards live in the
+  server's queue directory, so re-running a coordinator over the same
+  directory — or ``SuiteRunner.run(..., resume=store)`` — works unchanged
+  across transports, and remote runs are bit-identical to serial ones
+  (same ``cell_digest``s, same summaries).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+import uuid
+from collections import deque
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.backends.queue import (
+    WorkQueue,
+    WorkQueueBackend,
+    resolve_executor,
+    sanitize_worker_id,
+)
+from repro.experiments.backends.transport import (
+    MAX_FRAME_BYTES,
+    TransportError,
+    read_frame,
+    write_frame,
+)
+
+#: Version tag exchanged in ``hello`` so future protocol changes can be
+#: detected instead of mis-parsed.
+PROTOCOL_VERSION = 1
+
+
+class RemoteQueueError(RuntimeError):
+    """A queue-protocol request failed for good (server refused, or gone)."""
+
+
+def parse_address(value: str) -> tuple[str, int]:
+    """Parse a ``host:port`` string (the ``--connect`` argument)."""
+    host, separator, port = value.rpartition(":")
+    if not separator or not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def format_address(address: tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+class QueueServer:
+    """Serve one work-queue directory to TCP workers.
+
+    The server is a thin translation layer: every operation maps onto the
+    filesystem queue the coordinator already trusts, under one lock (queue
+    operations are filesystem-atomic, the lock just keeps directory scans
+    from racing each other).  It is intentionally stateless across
+    restarts — a new server over the same directory resumes exactly where
+    the old one stopped, because all durable state is the directory.
+
+    Parameters
+    ----------
+    queue:
+        The queue directory (or an existing :class:`WorkQueue`).
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port (read it back from
+        :attr:`address` after :meth:`start`).
+    lease / reclaim_interval:
+        When ``reclaim_interval`` is set (the standalone CLI does this), a
+        background thread reclaims expired claims every interval; embedded
+        servers leave reclamation to the coordinator's collect loop.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue | str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        lease: float = 60.0,
+        reclaim_interval: float | None = None,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        self._bind_host = host
+        self._bind_port = port
+        self.lease = lease
+        self.reclaim_interval = reclaim_interval
+        self.max_frame = max_frame
+        self.address: tuple[str, int] | None = None
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self._queue_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._progress: deque[dict[str, Any]] = deque()
+        #: Highest applied batch sequence number per (worker, session).  The
+        #: session half is what distinguishes a *replayed* batch (same client
+        #: life re-sending after a lost ACK — must be dropped) from a
+        #: *restarted* worker reusing its id whose fresh numbering starts
+        #: over at 1 (must be applied).
+        self._applied_seq: dict[tuple[str, str], int] = {}
+        #: Last claim reply per (worker, session): ``(token, reply)``.  A
+        #: claim re-sent with the same token (the client lost the ACK and
+        #: retried) gets the cached reply back instead of claiming a second
+        #: job — without this, the first job would sit in ``claimed/`` under
+        #: a live worker whose heartbeats keep its lease fresh forever.
+        self._claim_replies: dict[tuple[str, str], tuple[str, dict[str, Any]]] = {}
+        self._stopping = threading.Event()
+
+    # Lifecycle -------------------------------------------------------------
+    def start(self) -> "QueueServer":
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        listener = socket.create_server((self._bind_host, self._bind_port))
+        listener.settimeout(0.2)  # so the accept loop notices stop()
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        accept_thread.start()
+        self._threads.append(accept_thread)
+        if self.reclaim_interval is not None:
+            reclaim_thread = threading.Thread(target=self._reclaim_loop, daemon=True)
+            reclaim_thread.start()
+            self._threads.append(reclaim_thread)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and drop every live connection."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._state_lock:
+            connections = tuple(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "QueueServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # Progress stream -------------------------------------------------------
+    def drain_progress(self) -> list[dict[str, Any]]:
+        """Pop every progress event streamed by workers since the last drain."""
+        events: list[dict[str, Any]] = []
+        with self._state_lock:
+            while self._progress:
+                events.append(self._progress.popleft())
+        return events
+
+    # Internals -------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            listener = self._listener
+            if listener is None:
+                break
+            try:
+                connection, _peer = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._state_lock:
+                self._connections.add(connection)
+            worker_thread = threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            )
+            worker_thread.start()
+
+    def _reclaim_loop(self) -> None:
+        assert self.reclaim_interval is not None
+        while not self._stopping.wait(self.reclaim_interval):
+            with self._queue_lock:
+                self.queue.reclaim_expired(self.lease)
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = read_frame(connection, max_frame=self.max_frame)
+                except TransportError:
+                    break  # dead or non-protocol peer; leases clean up after it
+                except OSError:
+                    break
+                if request is None:
+                    break  # clean disconnect
+                response = self._handle(request)
+                try:
+                    write_frame(connection, response)
+                except OSError:
+                    break
+        finally:
+            with self._state_lock:
+                self._connections.discard(connection)
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def _handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        try:
+            return self._dispatch(request)
+        except Exception:
+            return {"ok": False, "error": traceback.format_exc(limit=8)}
+
+    def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        worker = request.get("worker")
+        if op in ("claim", "report", "heartbeat", "progress") and not worker:
+            return {"ok": False, "error": f"op {op!r} requires a worker id"}
+        if worker:
+            # Any request is a sign of life: remote workers lease-extend
+            # through the same heartbeat files as filesystem workers.
+            self.queue.heartbeat(str(worker))
+        if op == "hello":
+            client_protocol = request.get("protocol")
+            if client_protocol != PROTOCOL_VERSION:
+                return {
+                    "ok": False,
+                    "error": f"protocol mismatch: server speaks {PROTOCOL_VERSION}, "
+                    f"client sent {client_protocol!r}",
+                }
+            return {"ok": True, "server": "repro-queue", "protocol": PROTOCOL_VERSION}
+        if op == "claim":
+            token = request.get("token")
+            key = (sanitize_worker_id(str(worker)), str(request.get("session") or ""))
+            with self._queue_lock:
+                if isinstance(token, str):
+                    cached = self._claim_replies.get(key)
+                    if cached is not None and cached[0] == token:
+                        return cached[1]  # lost-ACK retry: same claim again
+                job = self.queue.claim(str(worker))
+                reply: dict[str, Any] = {"ok": True, "job": None}
+                if job is not None:
+                    reply["job"] = {
+                        "digest": job.digest,
+                        "index": job.index,
+                        "scenario": job.scenario,
+                        "executor": job.executor,
+                    }
+                if isinstance(token, str):
+                    self._claim_replies[key] = (token, reply)
+            return reply
+        if op == "heartbeat":
+            return {"ok": True}
+        if op == "report":
+            return self._apply_report(str(worker), request)
+        if op == "progress":
+            event = request.get("event")
+            if isinstance(event, dict):
+                with self._state_lock:
+                    self._progress.append(event)
+            return {"ok": True}
+        if op == "snapshot":
+            return {"ok": True, "snapshot": self.queue.snapshot()}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _apply_report(self, worker: str, request: dict[str, Any]) -> dict[str, Any]:
+        """Journal one uploaded outcome batch, at most once per sequence number.
+
+        Replay safety: the client re-sends a batch (same ``seq``) whenever
+        an ACK may have been lost — after an i/o timeout or a reconnect.  A
+        batch whose sequence number was already applied is acknowledged
+        without touching the journal, so replays never duplicate entries.
+        """
+        outcomes = request.get("outcomes")
+        if not isinstance(outcomes, list):
+            return {"ok": False, "error": "report carries no outcome list"}
+        seq = request.get("seq")
+        key = (sanitize_worker_id(worker), str(request.get("session") or ""))
+        with self._queue_lock:
+            if isinstance(seq, int) and seq <= self._applied_seq.get(key, 0):
+                return {"ok": True, "applied": False, "seq": seq}
+            accepted = 0
+            for record in outcomes:
+                if isinstance(record, dict) and "digest" in record:
+                    self.queue.journal_record(worker, record)
+                    accepted += 1
+            # Only a fully journaled batch is marked applied: if an i/o
+            # error above aborts the batch midway, the client's replay (same
+            # seq) is re-journaled rather than dropped — a duplicate record
+            # is harmless (later records win), a lost one is not.
+            if isinstance(seq, int):
+                self._applied_seq[key] = seq
+        return {"ok": True, "applied": True, "accepted": accepted}
+
+
+# ---------------------------------------------------------------------------
+# Worker-side client
+# ---------------------------------------------------------------------------
+class RemoteQueueClient:
+    """One worker's connection to a :class:`QueueServer`.
+
+    All requests go through :meth:`call`, which serialises access to the
+    socket (the heartbeat thread shares it with the drain loop) and
+    transparently reconnects on connection loss — retrying the request for
+    up to ``retry_window`` seconds, which is what lets a worker survive a
+    coordinator restart.  Requests are idempotent by construction: claims
+    carry per-attempt tokens (a lost-ACK retry gets the same job back),
+    heartbeats are monotone, and outcome batches carry sequence numbers.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int] | str,
+        worker_id: str,
+        *,
+        connect_timeout: float = 10.0,
+        io_timeout: float = 120.0,
+        retry_window: float = 60.0,
+        retry_interval: float = 0.5,
+    ) -> None:
+        self.address = parse_address(address) if isinstance(address, str) else address
+        self.worker_id = worker_id
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self.retry_window = retry_window
+        self.retry_interval = retry_interval
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+        #: Unique per client *instance*: batch replay protection is scoped
+        #: to this session, so a restarted worker process reusing a worker
+        #: id starts a fresh sequence space instead of colliding with the
+        #: dead one's.
+        self.session = uuid.uuid4().hex
+        self._seq = 0
+        #: Batches handed to :meth:`report_batch` but not yet acknowledged,
+        #: oldest first.  Each keeps the sequence number it was assigned at
+        #: enqueue time, so a re-send after a failed upload is a true replay
+        #: (same seq, same records) the server can deduplicate.
+        self._pending_batches: list[tuple[int, list[dict[str, Any]]]] = []
+
+    # Connection ------------------------------------------------------------
+    def _connect_locked(self) -> None:
+        sock = socket.create_connection(self.address, timeout=self.connect_timeout)
+        sock.settimeout(self.io_timeout)
+        write_frame(sock, {"op": "hello", "worker": self.worker_id, "protocol": PROTOCOL_VERSION})
+        reply = read_frame(sock)
+        if reply is None or not reply.get("ok"):
+            sock.close()
+            raise RemoteQueueError(f"server at {format_address(self.address)} rejected hello: {reply!r}")
+        if reply.get("protocol") != PROTOCOL_VERSION:
+            sock.close()
+            raise RemoteQueueError(
+                f"server at {format_address(self.address)} speaks protocol "
+                f"{reply.get('protocol')!r}, this client speaks {PROTOCOL_VERSION}"
+            )
+        self._sock = sock
+
+    def _close_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
+
+    # Requests --------------------------------------------------------------
+    def call(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and return the server's reply.
+
+        Connection-level failures (refused, reset, truncated, timed out)
+        trigger reconnect-and-retry until ``retry_window`` elapses;
+        application-level refusals (``ok: false``) raise immediately.
+        """
+        with self._lock:
+            deadline = time.monotonic() + self.retry_window
+            while True:
+                try:
+                    if self._sock is None:
+                        self._connect_locked()
+                    assert self._sock is not None
+                    write_frame(self._sock, payload)
+                    reply = read_frame(self._sock)
+                    if reply is None:
+                        raise TransportError("server closed the connection")
+                except RemoteQueueError:
+                    raise
+                except (OSError, TransportError) as error:
+                    self._close_locked()
+                    if time.monotonic() >= deadline:
+                        raise RemoteQueueError(
+                            f"queue server {format_address(self.address)} unreachable for "
+                            f"{self.retry_window:.0f}s: {error}"
+                        ) from error
+                    time.sleep(self.retry_interval)
+                    continue
+                if not reply.get("ok"):
+                    raise RemoteQueueError(
+                        f"server refused {payload.get('op')!r}: {reply.get('error', 'unknown error')}"
+                    )
+                return reply
+
+    def claim(self) -> dict[str, Any] | None:
+        """Claim one job; ``None`` when the queue has nothing pending.
+
+        Each logical claim carries a fresh token; a connection-level retry
+        re-sends the same token, so the server hands back the same job
+        instead of claiming a second one (claims are otherwise not
+        idempotent — a lost ACK would strand the first job).
+        """
+        reply = self.call(
+            {
+                "op": "claim",
+                "worker": self.worker_id,
+                "session": self.session,
+                "token": uuid.uuid4().hex,
+            }
+        )
+        job = reply.get("job")
+        return job if isinstance(job, dict) else None
+
+    def heartbeat(self) -> None:
+        self.call({"op": "heartbeat", "worker": self.worker_id})
+
+    def progress(self, event: dict[str, Any]) -> None:
+        self.call({"op": "progress", "worker": self.worker_id, "event": event})
+
+    def report_batch(self, records: Iterable[dict[str, Any]] = ()) -> None:
+        """Upload outcome batches (durable server-side once this returns).
+
+        The records are enqueued under a freshly assigned sequence number
+        and *owned by the client from then on*: if the upload fails, the
+        batch stays pending — with its original seq — and is re-sent ahead
+        of newer batches on the next call, so an already-applied batch
+        whose ACK was lost is recognised server-side as a replay instead of
+        being journaled twice.  Calling with no records just retries
+        whatever is pending.
+        """
+        batch = list(records)
+        if batch:
+            self._seq += 1
+            self._pending_batches.append((self._seq, batch))
+        while self._pending_batches:
+            seq, pending = self._pending_batches[0]
+            self.call(
+                {
+                    "op": "report",
+                    "worker": self.worker_id,
+                    "session": self.session,
+                    "seq": seq,
+                    "outcomes": pending,
+                }
+            )
+            self._pending_batches.pop(0)
+
+    @property
+    def pending_batches(self) -> int:
+        """Number of outcome batches accepted but not yet acknowledged."""
+        return len(self._pending_batches)
+
+    def snapshot(self) -> dict[str, int]:
+        reply = self.call({"op": "snapshot"})
+        return dict(reply.get("snapshot") or {})
+
+
+# ---------------------------------------------------------------------------
+# Worker drain loop (the --connect mode of python -m repro.experiments.worker)
+# ---------------------------------------------------------------------------
+def drain_remote(
+    address: tuple[str, int] | str,
+    *,
+    worker_id: str | None = None,
+    max_jobs: int | None = None,
+    idle_timeout: float = 10.0,
+    poll_interval: float = 0.1,
+    batch_size: int = 8,
+    heartbeat_interval: float = 5.0,
+    retry_window: float = 60.0,
+) -> int:
+    """Claim and execute jobs from a TCP queue server; return the job count.
+
+    The loop mirrors :func:`repro.experiments.worker.drain` — same idle
+    semantics, same never-let-a-cell-kill-the-worker execution envelope —
+    with two transport-specific twists: outcomes are uploaded in sequenced
+    batches of ``batch_size`` (flushed when full, when the queue goes idle
+    and on exit), and a ``cell-finished`` progress event streams each
+    outcome to the coordinator the moment it exists.  A background thread
+    heartbeats through the same connection so long cells are not reclaimed
+    from a live worker.
+    """
+    from repro.experiments.scenario import Scenario
+
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    worker = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    client = RemoteQueueClient(address, worker, retry_window=retry_window)
+    executed = 0
+    batch: list[dict[str, Any]] = []
+    stop_heartbeat = threading.Event()
+
+    def _flush() -> None:
+        # Ownership of the records moves to the client here: even when the
+        # upload raises, the batch is pending client-side under its assigned
+        # sequence number and is replayed (not renumbered) by later flushes.
+        nonlocal batch
+        handed, batch = batch, []
+        client.report_batch(handed)
+
+    def _heartbeat_loop() -> None:
+        while not stop_heartbeat.wait(heartbeat_interval):
+            try:
+                client.heartbeat()
+            except RemoteQueueError:
+                pass  # the drain loop surfaces persistent connectivity loss
+
+    heartbeat_thread = threading.Thread(target=_heartbeat_loop, daemon=True)
+    heartbeat_thread.start()
+    try:
+        idle_since = time.monotonic()
+        while max_jobs is None or executed < max_jobs:
+            job = client.claim()
+            if job is None:
+                _flush()
+                if time.monotonic() - idle_since > idle_timeout:
+                    break
+                time.sleep(poll_interval)
+                continue
+            started = time.perf_counter()
+            try:
+                scenario = Scenario.from_dict(job["scenario"])
+                executor = resolve_executor(job["executor"])
+                summary, error = executor(scenario), None
+            except Exception:
+                # Never let one bad cell (or an unimportable executor) kill
+                # the worker: report the failure so the coordinator sees it.
+                summary, error = None, traceback.format_exc(limit=8)
+            record = {
+                "digest": job["digest"],
+                "scenario": (job.get("scenario") or {}).get("name"),
+                "summary": summary,
+                "error": error,
+                "wall_time": time.perf_counter() - started,
+                "worker": sanitize_worker_id(worker),
+            }
+            batch.append(record)
+            try:
+                client.progress({"kind": "cell-finished", "digest": record["digest"], "record": record})
+            except RemoteQueueError:
+                pass  # progress is best-effort; the batched upload is durable
+            if len(batch) >= batch_size:
+                _flush()
+            executed += 1
+            idle_since = time.monotonic()
+    finally:
+        stop_heartbeat.set()
+        heartbeat_thread.join(timeout=1.0)
+        try:
+            _flush()
+        except RemoteQueueError as error:
+            print(f"worker {worker}: could not upload final batch: {error}", file=sys.stderr)
+        client.close()
+    return executed
+
+
+# ---------------------------------------------------------------------------
+# Backend
+# ---------------------------------------------------------------------------
+class RemoteWorkQueueBackend(WorkQueueBackend):
+    """A work-queue backend whose workers connect over TCP.
+
+    The collect loop, resume semantics, lease reclamation and journal
+    layout are all inherited from :class:`WorkQueueBackend` — this class
+    only changes the transport: :meth:`_setup` starts an embedded
+    :class:`QueueServer` over the queue directory, spawned workers are
+    handed ``--connect host:port`` instead of a ``--queue`` path, and the
+    poll hook folds in the outcome records streamed as progress events (so
+    results surface per cell even when workers batch their durable
+    uploads).  Externally launched workers on other machines can join the
+    same sweep by connecting to :attr:`address`.
+    """
+
+    name = "remote-queue"
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 0,
+        batch_size: int = 8,
+        poll_interval: float = 0.1,
+        lease: float = 60.0,
+        idle_timeout: float = 10.0,
+        timeout: float | None = None,
+    ) -> None:
+        super().__init__(
+            root,
+            workers=workers,
+            poll_interval=poll_interval,
+            lease=lease,
+            idle_timeout=idle_timeout,
+            timeout=timeout,
+        )
+        self.host = host
+        self.port = port
+        self.batch_size = batch_size
+        self.server: QueueServer | None = None
+        #: How long _teardown keeps the server alive waiting for batched
+        #: uploads of outcomes that were already streamed as progress
+        #: events — an external worker flushes on its first idle claim, so
+        #: this resolves in ~one worker poll interval in practice.
+        self.journal_grace = 5.0
+        #: Streamed-but-not-yet-journaled outcome records, by digest.
+        self._streamed_unjournaled: dict[str, dict[str, Any]] = {}
+        self._poll_state: tuple[WorkQueue, dict[str, int]] | None = None
+
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """The live server's ``(host, port)``, for externally launched workers."""
+        return self.server.address if self.server is not None else None
+
+    # Transport hooks --------------------------------------------------------
+    def _setup(self, queue: WorkQueue) -> None:
+        self._streamed_unjournaled = {}
+        self._poll_state = None
+        self.server = QueueServer(queue, host=self.host, port=self.port, lease=self.lease)
+        self.server.start()
+
+    def _teardown(self) -> None:
+        if self.server is None:
+            return
+        # Streamed progress events complete the sweep *before* their
+        # outcomes are durably journaled.  Spawned workers flush on SIGTERM
+        # during _shutdown; external --connect workers get no signal, so
+        # give their batched uploads a bounded grace period — and if an
+        # uploader died with the batch (SIGKILL chaos), journal the streamed
+        # record coordinator-side.  Either way the queue directory ends the
+        # sweep consistent: no claim without a journaled outcome, so a later
+        # resume pass stitches instead of re-executing (or hanging).
+        if self._streamed_unjournaled and self._poll_state is not None:
+            queue, offsets = self._poll_state
+            deadline = time.monotonic() + self.journal_grace
+            while self._streamed_unjournaled and time.monotonic() < deadline:
+                for record in queue.read_new_outcomes(offsets):
+                    self._streamed_unjournaled.pop(record.get("digest"), None)
+                if self._streamed_unjournaled:
+                    time.sleep(self.poll_interval)
+            for record in self._streamed_unjournaled.values():
+                queue.journal_record(str(record.get("worker") or "coordinator"), record)
+            self._streamed_unjournaled = {}
+        self.server.stop()
+        self.server = None
+
+    def _poll_records(self, queue: WorkQueue, offsets: dict[str, int]) -> list[dict[str, Any]]:
+        self._poll_state = (queue, offsets)
+        records: list[dict[str, Any]] = []
+        if self.server is not None:
+            for event in self.server.drain_progress():
+                record = event.get("record")
+                # Records without a digest are dropped here just as the
+                # journal read path drops them — the collect loop indexes
+                # record["digest"].
+                if (
+                    event.get("kind") == "cell-finished"
+                    and isinstance(record, dict)
+                    and record.get("digest")
+                ):
+                    records.append(record)
+                    self._streamed_unjournaled[record["digest"]] = record
+        # The shard read stays: it covers batched uploads whose progress
+        # event was lost, and keeps offsets moving so nothing is re-read.
+        for record in queue.read_new_outcomes(offsets):
+            self._streamed_unjournaled.pop(record.get("digest"), None)
+            records.append(record)
+        return records
+
+    def _worker_command(self, queue: WorkQueue, worker_id: str) -> list[str]:
+        address = self.address
+        assert address is not None, "_setup starts the server before workers spawn"
+        return [
+            sys.executable,
+            "-m",
+            "repro.experiments.worker",
+            "--connect",
+            format_address(address),
+            "--worker-id",
+            worker_id,
+            "--poll-interval",
+            str(self.poll_interval),
+            "--idle-timeout",
+            str(self.idle_timeout),
+            "--batch-size",
+            str(self.batch_size),
+            "--heartbeat-interval",
+            str(max(self.lease / 4.0, 0.05)),
+        ]
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QueueServer",
+    "RemoteQueueClient",
+    "RemoteQueueError",
+    "RemoteWorkQueueBackend",
+    "drain_remote",
+    "format_address",
+    "parse_address",
+]

@@ -1,0 +1,114 @@
+"""Length-prefixed JSON framing for the networked work queue.
+
+The wire format is deliberately minimal: every message is one JSON object
+encoded as UTF-8, preceded by a 4-byte big-endian unsigned length.  Both
+sides of the queue protocol (the coordinator's
+:class:`~repro.experiments.backends.remote.QueueServer` and the worker's
+:class:`~repro.experiments.backends.remote.RemoteQueueClient`) exchange
+nothing but these frames, so the payloads are exactly the job/outcome
+dictionaries the filesystem queue already stores — the transport adds
+framing, not a second serialisation format.
+
+Framing errors are typed so callers can tell the recoverable cases apart:
+
+* :class:`TruncatedFrameError` — the peer died mid-frame (a killed worker,
+  a dropped connection); the partial frame is discarded and the connection
+  is unusable, but the queue protocol makes re-sending safe.
+* :class:`FrameTooLargeError` — the declared length exceeds the cap, which
+  almost always means the peer is not speaking this protocol at all (a
+  stray HTTP client, a port scan); the connection is dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+#: 4-byte big-endian unsigned frame length.
+_HEADER = struct.Struct(">I")
+
+#: Default cap on one frame's payload.  Outcome batches are a few KiB each;
+#: anything near this size indicates a protocol mismatch, not a big batch.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class TransportError(RuntimeError):
+    """A framing-level failure on a queue-protocol connection."""
+
+
+class TruncatedFrameError(TransportError):
+    """The connection closed (or the stream ended) in the middle of a frame."""
+
+
+class FrameTooLargeError(TransportError):
+    """A frame header declared a payload larger than the configured cap."""
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes from ``sock``.
+
+    Returns ``None`` on a clean end-of-stream *before any byte* (the peer
+    closed between frames) and raises :class:`TruncatedFrameError` when the
+    stream ends after the frame started.
+    """
+    chunks: list[bytes] = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(count - received)
+        if not chunk:
+            if not chunks:
+                return None
+            raise TruncatedFrameError(
+                f"connection closed mid-frame ({received} of {count} bytes received)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Send one JSON object as a length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":"), default=repr).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(f"refusing to send a {len(body)}-byte frame")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def read_frame(
+    sock: socket.socket, *, max_frame: int = MAX_FRAME_BYTES
+) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean end-of-stream between frames.
+
+    Raises :class:`TruncatedFrameError` when the stream ends mid-frame (a
+    partial header counts), :class:`FrameTooLargeError` on an implausible
+    length, and :class:`TransportError` when the payload is not a JSON
+    object.
+    """
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLargeError(f"frame declares {length} bytes (cap {max_frame})")
+    body = _recv_exactly(sock, length) if length else b""
+    if body is None:
+        raise TruncatedFrameError("connection closed between frame header and payload")
+    try:
+        message = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise TransportError(f"frame payload must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "TransportError",
+    "TruncatedFrameError",
+    "FrameTooLargeError",
+    "read_frame",
+    "write_frame",
+]

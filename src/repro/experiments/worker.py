@@ -1,32 +1,42 @@
 """Work-queue worker: ``python -m repro.experiments.worker --queue DIR``.
 
 A worker is a standalone process that drains a
-:class:`~repro.experiments.backends.queue.WorkQueue` directory: it claims
-job files by atomic rename, materialises the declarative scenario *inside
-its own process*, runs the job's executor and journals the outcome to its
-own JSONL shard.  Launch as many as you like — by hand, from cron, or from
-a cluster scheduler — against the same directory (local or on a shared
-filesystem); the queue's rename-based claiming makes them cooperate without
-any coordination channel.
+:class:`~repro.experiments.backends.queue.WorkQueue`: it claims jobs,
+materialises the declarative scenario *inside its own process*, runs the
+job's executor and journals the outcome.  Launch as many as you like — by
+hand, from cron, or from a cluster scheduler; the queue's claiming makes
+them cooperate without any coordination channel.  Two transports share one
+CLI:
 
-Workers heartbeat every loop, so a coordinator (or a fellow worker) can
-reclaim the claims of a worker that died mid-cell once its lease expires.
+* ``--queue DIR`` — drain a queue directory directly (local or on a shared
+  filesystem): atomic-rename claims, per-worker JSONL outcome shards.
+* ``--connect HOST:PORT`` — drain the same queue through a
+  :class:`~repro.experiments.backends.remote.QueueServer` over TCP, for
+  workers *without* access to the coordinator's filesystem.  Outcomes are
+  uploaded in replay-safe batches (``--batch-size``) and each finished
+  cell is streamed back as a progress event.
+
+Workers heartbeat continuously in both modes, so a coordinator (or a
+fellow worker) can reclaim the claims of a worker that died mid-cell once
+its lease expires.
 
 Examples
 --------
-Drain a queue, lingering 10 idle seconds (the default) for late jobs::
+Drain a queue directory, lingering 10 idle seconds (the default)::
 
     PYTHONPATH=src python -m repro.experiments.worker --queue sweep-queue
 
-Keep polling for new jobs for up to an hour between jobs (a "warm" worker)::
+Join a networked sweep from another machine, as a "warm" worker that keeps
+waiting for new jobs for up to an hour::
 
-    PYTHONPATH=src python -m repro.experiments.worker --queue sweep-queue --idle-timeout 3600
+    PYTHONPATH=src python -m repro.experiments.worker --connect coordinator:7341 --idle-timeout 3600
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import socket
 import threading
 import time
@@ -40,6 +50,10 @@ from repro.experiments.scenario import Scenario
 def default_worker_id() -> str:
     """A host- and process-unique worker id."""
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _graceful_terminate(signum: int, frame: object) -> None:
+    raise SystemExit(143)
 
 
 def drain(
@@ -110,9 +124,15 @@ def drain(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.worker",
-        description="Drain one work-queue directory of experiment cells.",
+        description="Drain one work queue of experiment cells (directory or TCP).",
     )
-    parser.add_argument("--queue", required=True, help="work-queue directory to drain")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--queue", help="work-queue directory to drain")
+    source.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="drain a queue served over TCP by a QueueServer instead of a directory",
+    )
     parser.add_argument("--worker-id", default=None, help="unique worker id (default: host-pid)")
     parser.add_argument("--max-jobs", type=int, default=None, help="exit after this many jobs")
     parser.add_argument(
@@ -128,17 +148,57 @@ def main(argv: list[str] | None = None) -> int:
         "--lease",
         type=float,
         default=60.0,
-        help="reclaim claims whose worker heartbeat is older than this (default: 60)",
+        help="reclaim claims whose worker heartbeat is older than this (default: 60; "
+        "directory mode only — over TCP the coordinator enforces leases)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="TCP mode: outcomes per upload batch (default: 8)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=5.0,
+        help="TCP mode: seconds between heartbeats (default: 5)",
+    )
+    parser.add_argument(
+        "--retry-window",
+        type=float,
+        default=60.0,
+        help="TCP mode: keep reconnecting to an unreachable server for this long (default: 60)",
     )
     options = parser.parse_args(argv)
-    executed = drain(
-        options.queue,
-        worker_id=options.worker_id,
-        max_jobs=options.max_jobs,
-        idle_timeout=options.idle_timeout,
-        poll_interval=options.poll_interval,
-        lease=options.lease,
-    )
+    # A coordinator tearing a sweep down terminates its workers; turning
+    # SIGTERM into SystemExit lets the drain loops run their cleanup — in
+    # TCP mode that uploads the final outcome batch instead of dropping it.
+    try:
+        signal.signal(signal.SIGTERM, _graceful_terminate)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    if options.connect:
+        from repro.experiments.backends.remote import drain_remote
+
+        executed = drain_remote(
+            options.connect,
+            worker_id=options.worker_id,
+            max_jobs=options.max_jobs,
+            idle_timeout=options.idle_timeout,
+            poll_interval=options.poll_interval,
+            batch_size=options.batch_size,
+            heartbeat_interval=options.heartbeat_interval,
+            retry_window=options.retry_window,
+        )
+    else:
+        executed = drain(
+            options.queue,
+            worker_id=options.worker_id,
+            max_jobs=options.max_jobs,
+            idle_timeout=options.idle_timeout,
+            poll_interval=options.poll_interval,
+            lease=options.lease,
+        )
     print(f"worker {options.worker_id or default_worker_id()}: executed {executed} jobs")
     return 0
 

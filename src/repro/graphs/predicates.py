@@ -42,10 +42,10 @@ disabled with ``bound_s2=False`` for the ablation benchmark.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 
-from repro.graphs.connectivity import is_k_strongly_connected, vertex_connectivity
+from repro.graphs.connectivity import is_k_strongly_connected
 from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
 
 PdView = Mapping[ProcessId, frozenset[ProcessId]]

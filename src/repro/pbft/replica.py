@@ -24,7 +24,7 @@ higher view.  Proposal values must be hashable.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -42,7 +42,12 @@ from repro.pbft.messages import (
 from repro.pbft.quorum import classic_quorum, paper_quorum
 
 SendFn = Callable[[ProcessId, Any], None]
-ScheduleFn = Callable[[float, Callable[[], None]], None]
+#: Schedules a one-shot callback.  The return value may be a cancellable
+#: handle (anything with a ``cancel()`` method, e.g. the simulator's
+#: :class:`~repro.sim.engine.EventHandle`); when it is, the replica cancels
+#: its outstanding view timers the moment it decides instead of letting
+#: them fire as no-op events until the horizon.
+ScheduleFn = Callable[[float, Callable[[], None]], Any]
 DecideFn = Callable[[Any], None]
 
 
@@ -108,6 +113,7 @@ class SingleShotPbft:
     _preprepare_seen: dict[int, Any] = field(init=False, default_factory=dict)
     _view_change_sent: set[int] = field(init=False, default_factory=set)
     _started: bool = field(init=False, default=False)
+    _view_timers: list[Any] = field(init=False, default_factory=list)
     messages_sent: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -147,11 +153,33 @@ class SingleShotPbft:
 
     def _arm_view_timer(self, view: int) -> None:
         timeout = self.config.timeout_for_view(view)
+        # A view can legitimately be armed twice (once when the previous
+        # view times out, once on entering it through a quorum of view
+        # changes), so handles are tracked as a list — every one must be
+        # cancelled on decide, and a fired timer prunes its own handle.
+        handle_cell: list[Any] = []
 
         def fire() -> None:
+            if handle_cell:
+                try:
+                    self._view_timers.remove(handle_cell[0])
+                except ValueError:
+                    pass
             self._on_view_timeout(view)
 
-        self.schedule(timeout, fire)
+        handle = self.schedule(timeout, fire)
+        # Remember cancellable handles so deciding can kill the timers for
+        # good; schedule functions that return nothing keep the old
+        # fire-and-no-op behaviour.
+        if hasattr(handle, "cancel"):
+            handle_cell.append(handle)
+            self._view_timers.append(handle)
+
+    def _cancel_view_timers(self) -> None:
+        """Cancel every outstanding view timer (they are pointless once decided)."""
+        timers, self._view_timers = self._view_timers, []
+        for handle in timers:
+            handle.cancel()
 
     def _propose_in_view(self, view: int, value: Any) -> None:
         signed = self.key.sign(_preprepare_payload(self.group, view, value))
@@ -250,6 +278,11 @@ class SingleShotPbft:
     def _decide(self, value: Any) -> None:
         self.decided = True
         self.decided_value = value
+        # A decided replica never changes view again: cancelling the armed
+        # view timers here (instead of letting each fire and no-op at its
+        # exponentially growing deadline) is what lets member-heavy runs
+        # drain right after the decision rather than ticking to the horizon.
+        self._cancel_view_timers()
         self.on_decide(value)
 
     # ------------------------------------------------------------------

@@ -10,7 +10,7 @@ from repro.adversary.nodes import build_faulty_node
 from repro.analysis import run_consensus
 from repro.core import ProtocolMode
 from repro.core.config import ProtocolConfig
-from repro.core.messages import GetPds, SetPds
+from repro.core.messages import GetPds
 from repro.crypto.signatures import KeyRegistry
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, SynchronousModel

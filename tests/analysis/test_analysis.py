@@ -14,7 +14,6 @@ from repro.analysis.table1 import (
 )
 from repro.analysis.tables import render_table
 from repro.core.config import ProtocolConfig
-from repro.graphs.figures import figure_1b
 from repro.adversary.spec import FaultSpec
 
 

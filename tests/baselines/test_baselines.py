@@ -1,6 +1,5 @@
 """Tests for the unauthenticated BFT-CUP baseline (reachable reliable broadcast)."""
 
-import pytest
 
 from repro.baselines.reachable_broadcast import DisjointPathTracker, FloodedRecord
 from repro.baselines.unauthenticated import (

@@ -1,6 +1,5 @@
 """Tests for the Sink (Algorithm 2) and Core (Algorithm 4) locators."""
 
-import pytest
 
 from repro.core.discovery import DiscoveryState
 from repro.core.locators import CoreLocator, SinkLocator

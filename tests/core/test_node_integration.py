@@ -224,6 +224,27 @@ class TestTimerLifecycle:
         for pid in correct:
             assert nodes[pid]._query_timer is None
 
+    def test_pbft_view_timers_die_on_decision(self, figures):
+        """Post-decision event-count regression for the PBFT one-shot timers.
+
+        PR 3 cancelled the discovery and query periodic timers, leaving the
+        PBFT view-change one-shots to fire and no-op until the horizon (3
+        stray events on this run).  With the replica cancelling its view
+        timers on decide, a fully decided run leaves *zero* post-decision
+        events: the queue is empty the moment the last correct process
+        decides.
+        """
+        simulator, nodes, correct = self._world(figures)
+        simulator.run(until=lambda: all(nodes[p].decided for p in correct))
+        at_decision = simulator.processed_events
+        for pid in correct:
+            replica = nodes[pid].replica
+            if replica is not None:
+                assert replica._view_timers == []
+        simulator.run()  # drain whatever is left
+        assert simulator.processed_events - at_decision == 0
+        assert simulator.pending_events() == 0
+
 
 class TestDecidedValueVoting:
     """Regression tests for the Byzantine double-vote hole (Algorithm 3, line 7)."""

@@ -1,0 +1,659 @@
+"""Tests for the TCP queue server, worker client and remote backend.
+
+Executors are referenced as ``test_remote:<name>`` (pytest imports this
+file as a top-level module), so they resolve both in-process and in
+``--connect`` worker subprocesses.
+"""
+
+import json
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core import ProtocolMode
+from repro.experiments import (
+    GraphSpec,
+    QueueServer,
+    RemoteQueueClient,
+    RemoteQueueError,
+    RemoteWorkQueueBackend,
+    ScenarioMatrix,
+    SuiteRunner,
+    WorkQueue,
+)
+from repro.experiments.backends.remote import drain_remote, format_address, parse_address
+
+
+def small_matrix(replicates: int = 2) -> ScenarioMatrix:
+    return ScenarioMatrix(
+        name="remote",
+        graphs=(GraphSpec.figure("fig1b"), GraphSpec.bft_cupft(f=1, non_core_size=2, seed=0)),
+        modes=(ProtocolMode.BFT_CUPFT,),
+        behaviours=("silent",),
+        replicates=replicates,
+        base_seed=17,
+    )
+
+
+# Module-level so subprocess workers can resolve it as "test_remote:remote_executor".
+def remote_executor(scenario) -> dict:
+    return {
+        "terminated": True,
+        "agreement": True,
+        "validity": True,
+        "messages": scenario.seed % 89,
+        "latency": float(scenario.label("replicate", 0)) + 1.0,
+    }
+
+
+def slow_remote_executor(scenario) -> dict:
+    import time as _time
+
+    _time.sleep(1.0)
+    return remote_executor(scenario)
+
+
+EXECUTOR_REF = "test_remote:remote_executor"
+SLOW_REF = "test_remote:slow_remote_executor"
+
+
+def enqueue(tmp_path, cells):
+    queue = WorkQueue(tmp_path / "q")
+    queue.enqueue(list(enumerate(cells)), EXECUTOR_REF)
+    return queue
+
+
+def shard_digests(queue) -> list[str]:
+    digests = []
+    for shard in sorted(queue.outcomes.glob("*.jsonl")):
+        for line in shard.read_text().strip().splitlines():
+            digests.append(json.loads(line)["digest"])
+    return digests
+
+
+class TestAddressParsing:
+    def test_round_trip(self):
+        assert parse_address("127.0.0.1:7341") == ("127.0.0.1", 7341)
+        assert format_address(("10.0.0.2", 80)) == "10.0.0.2:80"
+
+    @pytest.mark.parametrize("bad", ["no-port", ":1234", "host:", "host:abc"])
+    def test_malformed_addresses_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestServerOps:
+    def test_claim_report_cycle_over_tcp(self, tmp_path):
+        cells = small_matrix(replicates=1).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            jobs = []
+            while True:
+                job = client.claim()
+                if job is None:
+                    break
+                jobs.append(job)
+            assert len(jobs) == len(cells)
+            assert queue.snapshot()["claimed"] == len(cells)
+            records = [
+                {
+                    "digest": job["digest"],
+                    "scenario": job["scenario"]["name"],
+                    "summary": {"ok": True},
+                    "error": None,
+                    "wall_time": 0.0,
+                    "worker": "w1",
+                }
+                for job in jobs
+            ]
+            client.report_batch(records)
+            client.close()
+        snapshot = queue.snapshot()
+        assert snapshot == {"pending": 0, "claimed": 0, "done": len(cells)}
+        assert sorted(shard_digests(queue)) == sorted(job["digest"] for job in jobs)
+
+    def test_requests_refresh_the_heartbeat_file(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "beating", retry_window=5.0)
+            client.heartbeat()
+            client.close()
+        heartbeat = queue.workers / "beating.alive"
+        assert heartbeat.exists()
+        assert time.time() - heartbeat.stat().st_mtime < 5.0
+
+    def test_snapshot_and_unknown_op(self, tmp_path):
+        queue = enqueue(tmp_path, small_matrix(replicates=1).scenarios())
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            assert client.snapshot()["pending"] == len(small_matrix(replicates=1).scenarios())
+            with pytest.raises(RemoteQueueError, match="unknown op"):
+                client.call({"op": "frobnicate"})
+            client.close()
+
+    def test_protocol_version_mismatch_is_rejected_at_hello(self, tmp_path):
+        from repro.experiments.backends.transport import read_frame, write_frame
+
+        queue = WorkQueue(tmp_path / "q")
+        with QueueServer(queue) as server:
+            with socket.create_connection(server.address, timeout=5.0) as old_peer:
+                write_frame(old_peer, {"op": "hello", "worker": "w1", "protocol": 999})
+                reply = read_frame(old_peer)
+            assert reply["ok"] is False
+            assert "protocol mismatch" in reply["error"]
+
+    def test_claim_retry_with_same_token_returns_the_same_job(self, tmp_path):
+        # A lost claim ACK makes the client retry the identical request; the
+        # server must hand the same job back instead of claiming a second
+        # one (which would strand the first in claimed/ forever).
+        cells = small_matrix(replicates=2).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            request = {"op": "claim", "worker": "w1", "session": client.session, "token": "tok-1"}
+            first = client.call(dict(request))
+            replay = client.call(dict(request))
+            assert replay["job"] == first["job"]  # cached, not a second claim
+            assert queue.snapshot()["claimed"] == 1
+            fresh = client.call(dict(request, token="tok-2"))
+            assert fresh["job"]["digest"] != first["job"]["digest"]
+            assert queue.snapshot()["claimed"] == 2
+            client.close()
+
+    def test_garbage_connection_does_not_take_down_the_server(self, tmp_path):
+        queue = enqueue(tmp_path, small_matrix(replicates=1).scenarios())
+        with QueueServer(queue) as server:
+            # A peer that is not speaking the protocol: huge declared frame.
+            with socket.create_connection(server.address, timeout=5.0) as rogue:
+                rogue.sendall(struct.pack(">I", 1 << 31) + b"x")
+            # A real client still works afterwards.
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            assert client.claim() is not None
+            client.close()
+
+
+class TestBatchReplayIdempotence:
+    def test_replayed_batch_is_journaled_once(self, tmp_path):
+        cells = small_matrix(replicates=1).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            job = client.claim()
+            record = {
+                "digest": job["digest"],
+                "scenario": None,
+                "summary": {"ok": True},
+                "error": None,
+                "wall_time": 0.0,
+                "worker": "w1",
+            }
+            # Simulate a lost ACK: the same sequenced batch hits the server
+            # twice.  The second application must be refused.
+            reply_first = client.call(
+                {"op": "report", "worker": "w1", "seq": 1, "outcomes": [record]}
+            )
+            reply_replay = client.call(
+                {"op": "report", "worker": "w1", "seq": 1, "outcomes": [record]}
+            )
+            assert reply_first["applied"] is True
+            assert reply_replay["applied"] is False
+            client.close()
+        assert shard_digests(queue) == [job["digest"]]
+
+    def test_restarted_worker_with_reused_id_is_not_mistaken_for_a_replay(self, tmp_path):
+        # A worker process that crashes and is relaunched with the same
+        # --worker-id starts its batch numbering over at 1.  Replay dedup is
+        # scoped per client session, so the new life's batches must apply.
+        cells = small_matrix(replicates=2).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            digests = []
+            for life in range(2):  # two client lives, same worker id
+                client = RemoteQueueClient(server.address, "gpu1", retry_window=5.0)
+                job = client.claim()
+                digests.append(job["digest"])
+                client.report_batch(
+                    [
+                        {
+                            "digest": job["digest"],
+                            "scenario": None,
+                            "summary": {"life": life},
+                            "error": None,
+                            "wall_time": 0.0,
+                            "worker": "gpu1",
+                        }
+                    ]
+                )
+                client.close()
+        assert shard_digests(queue) == digests  # both lives journaled
+
+    def test_failed_upload_is_replayed_with_its_original_seq(self, tmp_path):
+        # A batch whose upload fails stays pending client-side under the
+        # seq it was assigned; newer records form a *new* batch, so the
+        # retry is a true replay and nothing is merged or renumbered.
+        cells = small_matrix(replicates=2).scenarios()
+        queue = enqueue(tmp_path, cells)
+        server = QueueServer(queue, port=0)
+        server.start()
+        host, port = server.address
+        client = RemoteQueueClient((host, port), "w1", retry_window=0.3, retry_interval=0.05)
+        first_job = client.claim()
+        record_a = {
+            "digest": first_job["digest"],
+            "scenario": None,
+            "summary": {"batch": "a"},
+            "error": None,
+            "wall_time": 0.0,
+            "worker": "w1",
+        }
+        server.stop()
+        with pytest.raises(RemoteQueueError):
+            client.report_batch([record_a])
+        assert client.pending_batches == 1  # still owned, original seq kept
+
+        second = QueueServer(queue, host=host, port=port)
+        second.start()
+        client.report_batch()  # no new records: replays the pending batch
+        assert client.pending_batches == 0
+        second_job = client.claim()
+        record_b = dict(record_a, digest=second_job["digest"], summary={"batch": "b"})
+        client.report_batch([record_b])
+        client.close()
+        second.stop()
+        assert shard_digests(queue) == [first_job["digest"], second_job["digest"]]
+
+    def test_later_batches_still_apply(self, tmp_path):
+        cells = small_matrix(replicates=2).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            digests = []
+            for _ in range(2):
+                job = client.claim()
+                digests.append(job["digest"])
+                client.report_batch(
+                    [
+                        {
+                            "digest": job["digest"],
+                            "scenario": None,
+                            "summary": {},
+                            "error": None,
+                            "wall_time": 0.0,
+                            "worker": "w1",
+                        }
+                    ]
+                )
+            client.close()
+        assert shard_digests(queue) == digests
+
+
+class TestReconnect:
+    def test_client_survives_a_server_restart(self, tmp_path):
+        """The coordinator-restart path: same directory, same port, new server."""
+        cells = small_matrix(replicates=1).scenarios()
+        queue = enqueue(tmp_path, cells)
+        first = QueueServer(queue, port=0)
+        first.start()
+        host, port = first.address
+        client = RemoteQueueClient((host, port), "w1", retry_window=20.0, retry_interval=0.05)
+        job = client.claim()
+        assert job is not None
+        first.stop()
+
+        # Bring a new server life up on the same address after a beat, while
+        # the client is already retrying its upload.
+        second = QueueServer(queue, host=host, port=port)
+
+        def restart():
+            time.sleep(0.3)
+            second.start()
+
+        restarter = threading.Thread(target=restart)
+        restarter.start()
+        record = {
+            "digest": job["digest"],
+            "scenario": None,
+            "summary": {"ok": True},
+            "error": None,
+            "wall_time": 0.0,
+            "worker": "w1",
+        }
+        client.report_batch([record])  # transparently reconnects and retries
+        restarter.join()
+        second.stop()
+        client.close()
+        assert shard_digests(queue) == [job["digest"]]
+
+    def test_unreachable_server_fails_after_the_retry_window(self, tmp_path):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        client = RemoteQueueClient(
+            ("127.0.0.1", free_port), "w1", retry_window=0.3, retry_interval=0.05
+        )
+        started = time.monotonic()
+        with pytest.raises(RemoteQueueError, match="unreachable"):
+            client.heartbeat()
+        assert time.monotonic() - started >= 0.25
+
+
+class TestDrainRemote:
+    def test_drain_executes_and_journals_everything(self, tmp_path):
+        cells = small_matrix(replicates=2).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            executed = drain_remote(
+                server.address,
+                worker_id="tcp-w1",
+                idle_timeout=0.3,
+                poll_interval=0.02,
+                batch_size=3,
+            )
+            progress = server.drain_progress()
+        assert executed == len(cells)
+        assert queue.is_drained()
+        assert len(shard_digests(queue)) == len(cells)
+        finished = [event for event in progress if event.get("kind") == "cell-finished"]
+        assert len(finished) == len(cells)  # one streamed event per cell
+
+    def test_big_batch_flushes_on_idle_and_exit(self, tmp_path):
+        cells = small_matrix(replicates=1).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            drain_remote(
+                server.address,
+                worker_id="tcp-w1",
+                idle_timeout=0.2,
+                poll_interval=0.02,
+                batch_size=1000,  # never fills: the idle/exit flush must upload
+            )
+        assert len(shard_digests(queue)) == len(cells)
+
+
+class TestRemoteBackend:
+    def test_two_tcp_subprocess_workers_match_serial(self, tmp_path):
+        cells = small_matrix(replicates=2).scenarios()
+        serial = SuiteRunner(executor=remote_executor).run(cells)
+        backend = RemoteWorkQueueBackend(
+            tmp_path / "q", workers=2, batch_size=2, poll_interval=0.02, timeout=120.0
+        )
+        streamed: list[int] = []
+        sharded = SuiteRunner(
+            backend=backend,
+            executor=remote_executor,
+            progress=lambda completed, total, outcome: streamed.append(completed),
+        ).run(cells)
+        assert sharded.summaries() == serial.summaries()
+        assert [o.scenario for o in sharded] == [o.scenario for o in serial]
+        assert sharded.backend == "remote-queue"
+        assert not sharded.errors and not sharded.skipped
+        assert streamed == list(range(1, len(cells) + 1))  # per-cell progress
+        assert backend.server is None  # torn down with the sweep
+
+    def test_full_simulation_is_bit_identical_across_the_wire(self, tmp_path):
+        """Acceptance: same cell_digests and summaries as SerialBackend."""
+        cells = small_matrix(replicates=1).scenarios()
+        serial = SuiteRunner().run(cells)  # default executor: full simulation
+        backend = RemoteWorkQueueBackend(
+            tmp_path / "q", workers=1, poll_interval=0.02, timeout=120.0
+        )
+        sharded = SuiteRunner(backend=backend).run(cells)
+        assert sharded.summaries() == serial.summaries()
+        assert [o.scenario.cell_digest() for o in sharded] == [
+            o.scenario.cell_digest() for o in serial
+        ]
+
+    def test_resume_with_no_workers_stitches_from_shards(self, tmp_path):
+        cells = small_matrix(replicates=2).scenarios()
+        root = tmp_path / "q"
+        first = SuiteRunner(
+            backend=RemoteWorkQueueBackend(root, workers=1, poll_interval=0.02, timeout=120.0),
+            executor=remote_executor,
+        ).run(cells)
+        resumed = SuiteRunner(
+            backend=RemoteWorkQueueBackend(root, workers=0, poll_interval=0.02, timeout=30.0),
+            executor=remote_executor,
+        ).run(cells)
+        assert resumed.summaries() == first.summaries()
+
+    def test_external_worker_batched_outcomes_survive_sweep_teardown(self, tmp_path):
+        # The README's headline flow: workers=0, an externally launched
+        # worker drains over TCP with a batch it never fills.  The sweep
+        # completes off streamed progress events, but _teardown must keep
+        # the server up until the batch upload lands — otherwise the queue
+        # directory is left with claims whose outcomes exist nowhere and
+        # the resume pass below would find unfinished cells.
+        cells = small_matrix(replicates=2).scenarios()
+        root = tmp_path / "q"
+        backend = RemoteWorkQueueBackend(root, workers=0, poll_interval=0.02, timeout=120.0)
+        outcome: dict = {}
+
+        def coordinate() -> None:
+            outcome["suite"] = SuiteRunner(backend=backend, executor=remote_executor).run(cells)
+
+        coordinator = threading.Thread(target=coordinate)
+        coordinator.start()
+        deadline = time.monotonic() + 30.0
+        while backend.address is None and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert backend.address is not None
+        try:
+            drain_remote(
+                backend.address,
+                worker_id="external",
+                idle_timeout=5.0,
+                poll_interval=0.05,
+                batch_size=1000,  # never fills mid-sweep
+                retry_window=1.0,
+            )
+        except RemoteQueueError:
+            pass  # the coordinator tears the server down once the sweep is done
+        coordinator.join(timeout=60.0)
+        suite = outcome["suite"]
+        serial = SuiteRunner(executor=remote_executor).run(cells)
+        assert suite.summaries() == serial.summaries()
+        # Every outcome must be journaled in the queue dir: a fresh
+        # zero-worker coordinator stitches the whole sweep from shards.
+        resumed = SuiteRunner(
+            backend=RemoteWorkQueueBackend(root, workers=0, poll_interval=0.02, timeout=30.0),
+            executor=remote_executor,
+        ).run(cells)
+        assert resumed.summaries() == serial.summaries()
+
+    def test_streamed_outcome_whose_uploader_died_is_journaled_by_the_coordinator(self, tmp_path):
+        # A worker streams a cell-finished event and is killed before its
+        # batch upload (the chaos-smoke shape, hitting the *last* cell).
+        # The coordinator completes off the streamed record, and teardown
+        # must leave the queue directory consistent by journaling the
+        # record itself — a later resume pass stitches it instead of
+        # finding an orphaned claim.
+        cells = small_matrix(replicates=1).scenarios()[:1]
+        root = tmp_path / "q"
+        backend = RemoteWorkQueueBackend(root, workers=0, poll_interval=0.02, timeout=60.0)
+        backend.journal_grace = 0.2  # nobody will upload; don't wait long
+        outcome: dict = {}
+
+        def coordinate() -> None:
+            outcome["suite"] = SuiteRunner(backend=backend, executor=remote_executor).run(cells)
+
+        coordinator = threading.Thread(target=coordinate)
+        coordinator.start()
+        deadline = time.monotonic() + 30.0
+        while backend.address is None and time.monotonic() < deadline:
+            time.sleep(0.02)
+        client = RemoteQueueClient(backend.address, "doomed", retry_window=5.0)
+        job = client.claim()
+        record = {
+            "digest": job["digest"],
+            "scenario": None,
+            "summary": {"ok": True},
+            "error": None,
+            "wall_time": 0.0,
+            "worker": "doomed",
+        }
+        client.progress({"kind": "cell-finished", "digest": job["digest"], "record": record})
+        client.close()  # dies without ever uploading the batch
+        coordinator.join(timeout=60.0)
+        assert outcome["suite"].summaries() == [{"ok": True}]
+        queue = WorkQueue(root)
+        assert queue.is_drained()  # the claim was moved to done
+        assert shard_digests(queue) == [job["digest"]]  # coordinator-journaled
+        resumed = SuiteRunner(
+            backend=RemoteWorkQueueBackend(root, workers=0, poll_interval=0.02, timeout=30.0),
+            executor=remote_executor,
+        ).run(cells)
+        assert resumed.summaries() == [{"ok": True}]
+
+    def test_worker_errors_are_collected_not_fatal(self, tmp_path):
+        cells = small_matrix(replicates=1).scenarios()
+        backend = RemoteWorkQueueBackend(
+            tmp_path / "q", workers=1, poll_interval=0.02, timeout=120.0
+        )
+        suite = SuiteRunner(backend=backend, executor=raising_executor).run(cells)
+        assert len(suite.errors) == len(cells)
+        assert all("always fails" in outcome.error for outcome in suite.errors)
+
+
+def raising_executor(scenario) -> dict:
+    raise RuntimeError(f"cell {scenario.name} always fails")
+
+
+class TestWorkerCli:
+    def test_requires_exactly_one_source(self):
+        from repro.experiments.worker import main
+
+        with pytest.raises(SystemExit):
+            main([])
+        with pytest.raises(SystemExit):
+            main(["--queue", "somewhere", "--connect", "host:1"])
+
+    def test_connect_mode_drains_over_tcp(self, tmp_path, capsys):
+        from repro.experiments.worker import main
+
+        cells = small_matrix(replicates=1).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            code = main(
+                [
+                    "--connect",
+                    format_address(server.address),
+                    "--worker-id",
+                    "cli-tcp",
+                    "--idle-timeout",
+                    "0.3",
+                    "--poll-interval",
+                    "0.02",
+                ]
+            )
+        assert code == 0
+        assert f"executed {len(cells)} jobs" in capsys.readouterr().out
+        assert queue.is_drained()
+
+
+class TestStandaloneServerCli:
+    def test_serves_a_directory_to_tcp_workers(self, tmp_path):
+        import os
+        import re
+        import subprocess
+        import sys as _sys
+
+        cells = small_matrix(replicates=1).scenarios()
+        queue = enqueue(tmp_path, cells)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in _sys.path if p)
+        proc = subprocess.Popen(
+            [
+                _sys.executable,
+                "-m",
+                "repro.experiments.queue_server",
+                "--queue",
+                str(queue.root),
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            assert proc.stdout is not None
+            banner = proc.stdout.readline()
+            match = re.search(r"on (\S+):(\d+)", banner)
+            assert match, f"unexpected server banner: {banner!r}"
+            executed = drain_remote(
+                (match.group(1), int(match.group(2))),
+                worker_id="cli-standalone",
+                idle_timeout=0.3,
+                poll_interval=0.02,
+            )
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+        assert executed == len(cells)
+        assert queue.is_drained()
+
+
+class TestGracefulTermination:
+    def test_sigterm_mid_cell_flushes_the_batched_outcomes(self, tmp_path):
+        """A coordinator's terminate() must not lose a worker's unflushed batch.
+
+        The worker runs with a batch size it will never fill; after its
+        first (slow) cell finishes it is immediately executing the second
+        when SIGTERM arrives.  The CLI's signal handler turns that into
+        SystemExit, so the drain loop's cleanup uploads the batched first
+        outcome before the process dies.
+        """
+        import os
+        import signal as _signal
+        import subprocess
+        import sys as _sys
+        import time as _time
+
+        cells = small_matrix(replicates=2).scenarios()
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(list(enumerate(cells)), SLOW_REF)
+        with QueueServer(queue) as server:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(p for p in _sys.path if p)
+            proc = subprocess.Popen(
+                [
+                    _sys.executable,
+                    "-m",
+                    "repro.experiments.worker",
+                    "--connect",
+                    format_address(server.address),
+                    "--worker-id",
+                    "sigterm-w",
+                    "--batch-size",
+                    "1000",
+                    "--idle-timeout",
+                    "3600",
+                    "--poll-interval",
+                    "0.02",
+                ],
+                env=env,
+            )
+            try:
+                finished = 0
+                deadline = _time.monotonic() + 60.0
+                while _time.monotonic() < deadline and finished < 1:
+                    finished += len(
+                        [e for e in server.drain_progress() if e.get("kind") == "cell-finished"]
+                    )
+                    _time.sleep(0.02)
+                assert finished >= 1, "worker never finished its first cell"
+                assert shard_digests(queue) == []  # batched, not yet uploaded
+                proc.send_signal(_signal.SIGTERM)
+                proc.wait(timeout=30)
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+        journaled = shard_digests(queue)
+        assert len(journaled) >= 1  # the batch was flushed on the way out

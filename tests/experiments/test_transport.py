@@ -1,0 +1,119 @@
+"""Tests for the length-prefixed JSON framing under the TCP queue."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.experiments.backends.transport import (
+    FrameTooLargeError,
+    TransportError,
+    TruncatedFrameError,
+    read_frame,
+    write_frame,
+)
+
+
+def pair():
+    return socket.socketpair()
+
+
+class TestRoundTrip:
+    def test_single_frame_round_trips(self):
+        left, right = pair()
+        with left, right:
+            payload = {"op": "claim", "worker": "w1", "nested": {"a": [1, 2, 3]}}
+            write_frame(left, payload)
+            assert read_frame(right) == payload
+
+    def test_many_frames_in_order(self):
+        left, right = pair()
+        with left, right:
+            for index in range(20):
+                write_frame(left, {"n": index})
+            for index in range(20):
+                assert read_frame(right) == {"n": index}
+
+    def test_unicode_and_empty_object(self):
+        left, right = pair()
+        with left, right:
+            write_frame(left, {"name": "матрица-☃"})
+            write_frame(left, {})
+            assert read_frame(right) == {"name": "матрица-☃"}
+            assert read_frame(right) == {}
+
+    def test_non_json_values_degrade_via_repr(self):
+        left, right = pair()
+        with left, right:
+            write_frame(left, {"value": {1, 2}})  # sets are not JSON
+            message = read_frame(right)
+            assert isinstance(message["value"], str)
+
+    def test_large_frame_round_trips(self):
+        # Big batches (thousands of outcome records) must survive the
+        # chunked recv path.
+        left, right = pair()
+        with left, right:
+            payload = {"records": [{"digest": "d" * 64, "i": i} for i in range(2000)]}
+            writer = threading.Thread(target=write_frame, args=(left, payload))
+            writer.start()
+            assert read_frame(right) == payload
+            writer.join(timeout=5.0)
+
+
+class TestEdgeCases:
+    def test_clean_eof_between_frames_returns_none(self):
+        left, right = pair()
+        with right:
+            write_frame(left, {"last": True})
+            left.close()
+            assert read_frame(right) == {"last": True}
+            assert read_frame(right) is None
+
+    def test_truncated_header_raises(self):
+        left, right = pair()
+        with right:
+            left.sendall(b"\x00\x00")  # half a header, then EOF
+            left.close()
+            with pytest.raises(TruncatedFrameError):
+                read_frame(right)
+
+    def test_truncated_payload_raises(self):
+        left, right = pair()
+        with right:
+            left.sendall(struct.pack(">I", 100) + b'{"partial": tru')
+            left.close()
+            with pytest.raises(TruncatedFrameError):
+                read_frame(right)
+
+    def test_header_with_no_payload_raises(self):
+        left, right = pair()
+        with right:
+            left.sendall(struct.pack(">I", 8))
+            left.close()
+            with pytest.raises(TruncatedFrameError):
+                read_frame(right)
+
+    def test_oversized_frame_is_rejected_without_reading_it(self):
+        left, right = pair()
+        with left, right:
+            left.sendall(struct.pack(">I", 1 << 31))
+            with pytest.raises(FrameTooLargeError):
+                read_frame(right, max_frame=1024)
+
+    def test_non_json_payload_raises_transport_error(self):
+        left, right = pair()
+        with left, right:
+            body = b"GET / HTTP/1.1"  # a peer that is not speaking the protocol
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(TransportError):
+                read_frame(right)
+
+    def test_json_scalar_payload_is_rejected(self):
+        left, right = pair()
+        with left, right:
+            body = b"[1, 2, 3]"
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(TransportError, match="JSON object"):
+                read_frame(right)

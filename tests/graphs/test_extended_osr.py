@@ -1,6 +1,5 @@
 """Tests for the extended k-OSR check (Definition 2) and core finding."""
 
-import pytest
 
 from repro.graphs.extended_osr import (
     enumerate_sinks,

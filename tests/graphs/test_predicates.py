@@ -1,6 +1,5 @@
 """Tests for the isSinkGdi / isSink* predicates against the paper's own instances."""
 
-import pytest
 
 from repro.graphs.figures import figure_1b, figure_2c, figure_3a, figure_4b
 from repro.graphs.knowledge_graph import KnowledgeGraph

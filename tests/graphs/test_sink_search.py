@@ -1,6 +1,5 @@
 """Tests for the sink/core candidate search."""
 
-import pytest
 
 from repro.graphs.figures import figure_1b, figure_2c, figure_4a, figure_4b
 from repro.graphs.knowledge_graph import KnowledgeGraph

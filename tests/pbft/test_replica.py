@@ -4,7 +4,6 @@ import pytest
 
 from repro.crypto.signatures import KeyRegistry
 from repro.pbft.messages import GroupKey, PrePrepare
-from repro.pbft.quorum import paper_quorum
 from repro.pbft.replica import PbftConfig, SingleShotPbft, _preprepare_payload
 from repro.sim.engine import Simulator
 
@@ -145,3 +144,61 @@ class TestValidation:
         )
         harness.replicas[2].handle(1, forged)
         assert 0 not in harness.replicas[2]._prepared_sent
+
+
+class TestTimerLifecycle:
+    """Regression tests: view timers die on decide instead of no-op firing.
+
+    Before the fix, every armed view timer outlived the decision and fired
+    as a no-op event at its (exponentially growing) deadline — on
+    member-heavy runs the simulation clock kept ticking long after the last
+    decision.  The replica now cancels its outstanding timers the moment it
+    decides, so a decided group's event queue drains immediately.
+    """
+
+    def test_view_timers_are_cancelled_on_decide(self):
+        harness = Harness(members=[1, 2, 3, 4], fault_threshold=1)
+        decisions = harness.run()
+        assert len(decisions) == 4
+        for replica in harness.replicas.values():
+            assert replica.decided
+            assert replica._view_timers == []
+        # Drain everything still queued (late deliveries only): no timer may
+        # fire, so virtual time must stay far below the first view timeout.
+        harness.simulator.run()
+        assert harness.simulator.pending_events() == 0
+        assert harness.simulator.now < harness.replicas[1].config.base_timeout
+
+    def test_view_change_path_also_cancels_its_timers(self):
+        # A silent leader forces a view change; the decision lands in view 1
+        # with timers armed for views 0 and 1.  All must die on decide.
+        harness = Harness(members=[1, 2, 3, 4], fault_threshold=1, byzantine={1})
+        decisions = harness.run()
+        assert len(decisions) == 3
+        for replica in harness.replicas.values():
+            assert replica._view_timers == []
+        at_decision_now = harness.simulator.now
+        at_decision_events = harness.simulator.processed_events
+        harness.simulator.run()
+        # Only in-flight message deliveries may remain: the clock must not
+        # jump to the view-1 timer deadline.
+        assert harness.simulator.now < at_decision_now + 5.0
+        assert harness.simulator.processed_events - at_decision_events < 50
+        assert harness.simulator.pending_events() == 0
+
+    def test_schedule_functions_without_handles_still_work(self):
+        # A ScheduleFn may return nothing (older embeddings); the replica
+        # must keep working, just without the cancellation optimisation.
+
+        class NoHandleHarness(Harness):
+            def __init__(self):
+                super().__init__(members=[1, 2, 3], fault_threshold=0)
+                for replica in self.replicas.values():
+                    original = self.simulator.schedule
+                    replica.schedule = lambda delay, cb, _s=original: (_s(delay, cb), None)[1]
+
+        harness = NoHandleHarness()
+        decisions = harness.run()
+        assert len(decisions) == 3
+        for replica in harness.replicas.values():
+            assert replica._view_timers == []

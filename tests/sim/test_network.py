@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.graphs.knowledge_graph import ProcessId
 from repro.sim.engine import Simulator
 from repro.sim.network import (
     AsynchronousModel,

@@ -1,12 +1,10 @@
 """Tests for the workload builders, the model-subtlety finding, and the example scripts."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest
 
-from repro.adversary.spec import FaultSpec
 from repro.core import ProtocolMode
 from repro.graphs.figures import figure_1b
 from repro.graphs.generators import generate_bft_cupft_graph
@@ -146,8 +144,6 @@ class TestModelSubtlety:
         return graph
 
     def test_world_one_satisfies_requirements_with_core_inside_sink(self):
-        from repro.graphs.components import sink_components
-
         graph = self._fragile_graph()
         assert satisfies_bft_cupft(graph, 1, {7})
         oracle = StaticOracle(graph, frozenset({7}))
