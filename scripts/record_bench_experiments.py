@@ -3,8 +3,11 @@
 Runs the scalability sweep (benchmarks/bench_scalability.py) through the
 :class:`~repro.experiments.SuiteRunner` twice — serially and on a
 2-process pool — and writes both wall-clocks plus the SuiteResult JSON
-export to ``BENCH_experiments.json`` at the repo root.  Later PRs re-run
-this script to compare suite-runner throughput against the baseline.
+export to ``BENCH_experiments.json`` (at the repo root, or in
+``$BENCH_JSON_DIR`` when set — which is how CI feeds the trajectory into
+the benchmark-regression gate alongside the pytest-produced ones).
+``BENCH_QUICK=1`` shrinks the sweep to the CI-sized smoke run the
+committed quick-mode baseline was recorded with.
 
 Run with::
 
@@ -14,6 +17,7 @@ Run with::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -41,6 +45,7 @@ def main() -> None:
         "benchmark": "experiments-suite-runner (scalability sweep)",
         "python": platform.python_version(),
         "runs": len(serial),
+        "quick": os.environ.get("BENCH_QUICK") == "1",
         "serial_wall_time": serial.wall_time,
         "pool_wall_time": pooled.wall_time,
         "pool_processes": pooled.processes,
@@ -48,7 +53,9 @@ def main() -> None:
         "graph_cache": cache.stats(),
         "suite": serial.to_dict(group_by="mode"),
     }
-    out = REPO_ROOT / "BENCH_experiments.json"
+    out_dir = Path(os.environ.get("BENCH_JSON_DIR", REPO_ROOT))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out = out_dir / "BENCH_experiments.json"
     out.write_text(json.dumps(payload, indent=2, default=repr) + "\n")
     print(f"wrote {out}")
     print(

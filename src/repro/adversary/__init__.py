@@ -19,10 +19,20 @@ behaviours used by the tests and experiments:
 
 Heterogeneous compositions of these behaviours ("one equivocator + rest
 silent") are declared with :class:`~repro.adversary.mix.AdversaryMix`,
-which the scenario layer sweeps as a first-class axis.
+which the scenario layer sweeps as a first-class axis.  The *message-level*
+adversary — scripted delays, partitions and crashes — is declared with
+:class:`~repro.adversary.schedule.NetworkSchedule`, swept the same way.
 """
 
-from repro.adversary.mix import REST, AdversaryMix, MixEntry
+from repro.adversary.mix import INSIDE_CORE, OUTSIDE_CORE, REST, AdversaryMix, MixEntry
+from repro.adversary.schedule import (
+    CrashRule,
+    DelayRule,
+    NetworkSchedule,
+    PartitionRule,
+    ScheduleContractError,
+    ScheduleError,
+)
 from repro.adversary.spec import FaultSpec
 from repro.adversary.nodes import (
     CrashNode,
@@ -37,6 +47,14 @@ __all__ = [
     "AdversaryMix",
     "MixEntry",
     "REST",
+    "INSIDE_CORE",
+    "OUTSIDE_CORE",
+    "NetworkSchedule",
+    "DelayRule",
+    "PartitionRule",
+    "CrashRule",
+    "ScheduleError",
+    "ScheduleContractError",
     "FaultSpec",
     "SilentNode",
     "CrashNode",

@@ -4,9 +4,11 @@ A :class:`FaultSpec` describes *one* faulty process; scenarios historically
 applied a single behaviour string to *every* faulty process.  An
 :class:`AdversaryMix` lifts the fault assignment to a first-class,
 declarative axis: an ordered list of :class:`MixEntry` roles — a behaviour
-name, how many faulty processes play it (an exact count or ``"rest"``) and
-optional parameter overrides — plus a deterministic, seed-derived placement
-of those roles onto the faulty set.
+name, how many faulty processes play it (an exact count or ``"rest"``),
+optional parameter overrides and an optional placement *target*
+(``inside_core`` / ``outside_core`` relative to the scenario's expected
+sink/core, or an explicit id set) — plus a deterministic, seed-derived
+placement of those roles onto the faulty set.
 
 The mix is plain data: it is hashable, picklable and JSON round-trippable
 (:meth:`AdversaryMix.to_dict` / :meth:`AdversaryMix.from_dict`), so it
@@ -31,6 +33,13 @@ from repro.graphs.knowledge_graph import ProcessId
 #: a fixed-count entry.
 REST = "rest"
 
+#: Symbolic placement targets: restrict an entry to the faulty processes
+#: attached to (or detached from) the expected sink/core of the scenario's
+#: graph — "place the equivocator inside vs outside the expected sink".
+INSIDE_CORE = "inside_core"
+OUTSIDE_CORE = "outside_core"
+_SYMBOLIC_TARGETS = frozenset({INSIDE_CORE, OUTSIDE_CORE})
+
 
 @dataclass(frozen=True)
 class MixEntry:
@@ -42,11 +51,19 @@ class MixEntry:
     :func:`repro.workloads.builders.default_fault_spec` (e.g. ``at`` for
     ``crash``, ``poison_value`` for ``wrong_value``); values must be JSON
     scalars so the entry round-trips through job files.
+
+    ``target`` optionally restricts *which* faulty processes may play the
+    role: :data:`INSIDE_CORE` / :data:`OUTSIDE_CORE` (relative to the
+    scenario's expected sink/core, see
+    :func:`repro.workloads.builders.core_attached_faulty`) or an explicit
+    tuple of process ids.  A ``rest`` entry cannot be targeted — it absorbs
+    whatever the targeted entries left over.
     """
 
     behaviour: str
     count: int | str = 1
     params: tuple[tuple[str, Any], ...] = ()
+    target: str | tuple[ProcessId, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.behaviour not in KNOWN_BEHAVIOURS:
@@ -67,25 +84,53 @@ class MixEntry:
                 f"behaviour {self.behaviour!r} accepts no parameter named "
                 f"{sorted(unknown)}; allowed: {sorted(allowed)}"
             )
+        if self.target is not None:
+            if self.count == REST:
+                raise ValueError(
+                    f"a {REST!r} entry cannot be targeted; it absorbs the untargeted leftovers"
+                )
+            if isinstance(self.target, str):
+                if self.target not in _SYMBOLIC_TARGETS:
+                    raise ValueError(
+                        f"unknown target {self.target!r}; expected one of "
+                        f"{sorted(_SYMBOLIC_TARGETS)} or an explicit process-id tuple"
+                    )
+            else:
+                ids = tuple(sorted(self.target, key=repr))
+                if not ids:
+                    raise ValueError("an explicit target set must not be empty")
+                object.__setattr__(self, "target", ids)
 
     @property
     def key(self) -> str:
         """Stable human-readable identity of the entry."""
         rendered = "".join(f",{name}={value!r}" for name, value in self.params)
-        return f"{self.behaviour}{rendered}:{self.count}"
+        if self.target is None:
+            targeted = ""
+        elif isinstance(self.target, str):
+            targeted = f"@{self.target}"
+        else:
+            targeted = "@[" + ",".join(repr(p) for p in self.target) + "]"
+        return f"{self.behaviour}{rendered}{targeted}:{self.count}"
 
     def to_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {"behaviour": self.behaviour, "count": self.count}
         if self.params:
             payload["params"] = {name: value for name, value in self.params}
+        if self.target is not None:
+            payload["target"] = self.target if isinstance(self.target, str) else list(self.target)
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "MixEntry":
+        target = payload.get("target")
+        if target is not None and not isinstance(target, str):
+            target = tuple(target)
         return cls(
             behaviour=payload["behaviour"],
             count=payload.get("count", 1),
             params=tuple(sorted(payload.get("params", {}).items())),
+            target=target,
         )
 
 
@@ -135,37 +180,92 @@ class AdversaryMix:
         spelled = ",".join(entry.key for entry in self.entries)
         return f"mix:{self.name}({spelled})" if self.name else f"mix({spelled})"
 
-    def assign(self, faulty: frozenset[ProcessId], *, seed: int = 0) -> dict[ProcessId, MixEntry]:
-        """Deterministically place each entry's role onto the faulty set."""
+    def assign(
+        self,
+        faulty: frozenset[ProcessId],
+        *,
+        seed: int = 0,
+        inside_core: frozenset[ProcessId] | None = None,
+    ) -> dict[ProcessId, MixEntry]:
+        """Deterministically place each entry's role onto the faulty set.
+
+        ``inside_core`` is the subset of ``faulty`` attached to the expected
+        sink/core (the workload builders compute it from the scenario's
+        ground truth); it is only required when an entry carries an
+        :data:`INSIDE_CORE` / :data:`OUTSIDE_CORE` target.  Targeted
+        entries claim their processes *first* (in entry order), so an
+        untargeted fixed count can never starve a later targeted entry of
+        its only eligible processes — placement succeeds whenever any
+        assignment exists, independent of the shuffle.  Untargeted entries
+        then place exactly as they did before targeting existed: fixed
+        counts claim prefixes of the seed-shuffled faulty list, then the
+        (at most one) ``rest`` entry claims whoever is left.
+        """
         ordered = sorted(faulty, key=repr)
         rng = random.Random(derive_seed(seed, "adversary-mix", self.key))
         rng.shuffle(ordered)
         assignment: dict[ProcessId, MixEntry] = {}
-        cursor = 0
+        available = list(ordered)
         rest_entry: MixEntry | None = None
+        fixed = [entry for entry in self.entries if entry.count != REST]
         for entry in self.entries:
             if entry.count == REST:
                 rest_entry = entry
-                continue
+        placement_order = [entry for entry in fixed if entry.target is not None] + [
+            entry for entry in fixed if entry.target is None
+        ]
+        for entry in placement_order:
+            eligible = [
+                process
+                for process in available
+                if self._eligible(entry, process, faulty, inside_core)
+            ]
             take = int(entry.count)
-            if cursor + take > len(ordered):
+            if take > len(eligible):
                 raise ValueError(
-                    f"mix {self.key} needs at least {self.minimum_faulty()} faulty "
-                    f"processes but the scenario has only {len(ordered)}"
+                    f"mix {self.key} entry {entry.key!r} needs {take} eligible faulty "
+                    f"process(es) but the scenario offers only {len(eligible)} "
+                    f"(faulty: {len(ordered)})"
                 )
-            for process in ordered[cursor : cursor + take]:
+            for process in eligible[:take]:
                 assignment[process] = entry
-            cursor += take
-        leftover = ordered[cursor:]
+                available.remove(process)
         if rest_entry is not None:
-            for process in leftover:
+            for process in available:
                 assignment[process] = rest_entry
-        elif leftover:
+        elif available:
             raise ValueError(
-                f"mix {self.key} covers {cursor} faulty processes but the scenario has "
-                f"{len(ordered)}; add a behaviour={REST!r} entry to absorb the remainder"
+                f"mix {self.key} covers {len(assignment)} faulty processes but the scenario "
+                f"has {len(ordered)}; add a behaviour={REST!r} entry to absorb the remainder"
             )
         return assignment
+
+    @staticmethod
+    def _eligible(
+        entry: MixEntry,
+        process: ProcessId,
+        faulty: frozenset[ProcessId],
+        inside_core: frozenset[ProcessId] | None,
+    ) -> bool:
+        if entry.target is None:
+            return True
+        if isinstance(entry.target, tuple):
+            targeted = frozenset(entry.target)
+            stray = targeted - faulty
+            if stray:
+                raise ValueError(
+                    f"mix entry {entry.key!r} targets {sorted(stray, key=repr)}, "
+                    "which the scenario does not declare faulty"
+                )
+            return process in targeted
+        if inside_core is None:
+            raise ValueError(
+                f"mix entry {entry.key!r} targets the expected core, but the scenario "
+                "does not expose one (pass inside_core= to assign())"
+            )
+        if entry.target == INSIDE_CORE:
+            return process in inside_core
+        return process not in inside_core
 
     def minimum_faulty(self) -> int:
         """The smallest faulty-set size this mix can be placed onto."""
@@ -186,4 +286,4 @@ class AdversaryMix:
         )
 
 
-__all__ = ["REST", "MixEntry", "AdversaryMix"]
+__all__ = ["REST", "INSIDE_CORE", "OUTSIDE_CORE", "MixEntry", "AdversaryMix"]

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.adversary.nodes import build_faulty_node
+from repro.adversary.schedule import NetworkSchedule
 from repro.adversary.spec import FaultSpec
 from repro.analysis.properties import ConsensusProperties, check_properties
 from repro.core.config import ProtocolConfig
@@ -42,6 +43,10 @@ class RunConfig:
     #: Proposed values; processes without an entry propose ``f"value-of-{id}"``.
     proposals: dict[ProcessId, Any] = field(default_factory=dict)
     synchrony: SynchronyModel | None = None
+    #: Declarative network fault schedule (delays/partitions/crashes),
+    #: validated against the synchrony model and installed as named rules
+    #: on the network before the run starts.
+    schedule: NetworkSchedule | None = None
     seed: int = 0
     #: Simulation horizon (virtual time).  Runs that do not terminate by the
     #: horizon are reported with ``termination=False``.
@@ -170,6 +175,11 @@ def run_consensus(config: RunConfig) -> RunResult:
     )
     registry = KeyRegistry(seed=derive_seed(config.seed, "keys"))
     nodes = build_nodes(config, simulator, network, registry, trace)
+    if config.schedule is not None:
+        # Installed after registration so symbolic rule targets ("*",
+        # "correct", "faulty") resolve against the full membership; the
+        # schedule validates itself against the synchrony model here.
+        config.schedule.install(network)
 
     correct = frozenset(config.graph.processes - set(config.faulty))
     participants = (

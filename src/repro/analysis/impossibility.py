@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.adversary.schedule import DelayRule, NetworkSchedule
 from repro.adversary.spec import FaultSpec
 from repro.analysis.harness import RunConfig, RunResult, run_consensus
 from repro.core.config import ProtocolConfig
@@ -74,6 +75,26 @@ def _run_single_system(scenario, value: str, seed: int) -> RunResult:
     return run_consensus(config)
 
 
+def theorem7_cross_group_schedule(cross_group_delay: float) -> NetworkSchedule:
+    """The Theorem 7 adversarial scheduler, as a declarative schedule.
+
+    Every message between the two groups is delayed beyond both groups'
+    decision times.  The rules are marked ``adversarial=True``: they delay
+    correct→correct traffic far past the declared ``GST + delta``, which is
+    admissible in the proof because GST can be arbitrarily large — the
+    cross-group messages are simply "still pre-GST" until after both groups
+    have decided — but is exactly the contract violation the schedule
+    validator exists to catch in ordinary experiments.
+    """
+    return NetworkSchedule(
+        name="theorem7-cross-group",
+        rules=(
+            DelayRule(src=GROUP_A, dst=GROUP_B, delay=cross_group_delay, adversarial=True),
+            DelayRule(src=GROUP_B, dst=GROUP_A, delay=cross_group_delay, adversarial=True),
+        ),
+    )
+
+
 def _run_joint_system(seed: int, cross_group_delay: float) -> RunResult:
     scenario = figure_2c()
     proposals = {}
@@ -85,30 +106,10 @@ def _run_joint_system(seed: int, cross_group_delay: float) -> RunResult:
         faulty={},
         proposals=proposals,
         synchrony=PartialSynchronyModel(gst=20.0, delta=1.0),
+        schedule=theorem7_cross_group_schedule(cross_group_delay),
         seed=seed,
         horizon=2_000.0,
     )
-
-    # Build the network through run_consensus, but install the adversarial
-    # cross-group delay first by wrapping the synchrony model: the partial
-    # synchrony definition allows this because GST can be arbitrarily large,
-    # and here the cross-group messages are simply "still pre-GST" until
-    # after both groups have decided.
-    class CrossGroupDelayModel(PartialSynchronyModel):
-        def delay(self, *, now, sender, receiver, sender_correct, receiver_correct, rng):
-            same_group = (sender in GROUP_A) == (receiver in GROUP_A)
-            if not same_group:
-                return cross_group_delay
-            return super().delay(
-                now=now,
-                sender=sender,
-                receiver=receiver,
-                sender_correct=sender_correct,
-                receiver_correct=receiver_correct,
-                rng=rng,
-            )
-
-    config.synchrony = CrossGroupDelayModel(gst=20.0, delta=1.0)
     return run_consensus(config)
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.adversary.schedule import DelayRule, NetworkSchedule
 from repro.adversary.spec import FaultSpec
 from repro.analysis.harness import RunConfig, RunResult, run_consensus
 from repro.analysis.tables import render_table
@@ -106,6 +107,7 @@ def run_cell(
     """Run the workload of one Table I cell and report whether consensus was solved."""
     graph, faulty, protocol, safe_group = _knowledge_workload(knowledge)
 
+    schedule = None
     if communication == "synchronous":
         synchrony = SynchronousModel(delta=1.0)
         expected = True
@@ -117,13 +119,18 @@ def run_cell(
         # correct sink/core member forever.  With a sink of exactly 2f+1
         # correct processes this prevents the inner consensus quorum, so no
         # correct process can ever decide -- which is admissible because an
-        # asynchronous system has no GST.
+        # asynchronous system has no GST (the schedule validator imposes no
+        # delivery contract under the asynchronous model).
         victim = min(safe_group, key=repr)
-        targeted = frozenset(
-            (victim, receiver) for receiver in graph.processes if receiver != victim
-        )
-        synchrony = AsynchronousModel(
-            delta=1.0, starvation_probability=0.0, targeted_links=targeted
+        synchrony = AsynchronousModel(delta=1.0, starvation_probability=0.0)
+        schedule = NetworkSchedule(
+            name="starve-victim",
+            rules=(
+                DelayRule(
+                    src=frozenset({victim}),
+                    dst=frozenset(graph.processes) - {victim},
+                ),
+            ),
         )
         expected = False
     else:
@@ -134,6 +141,7 @@ def run_cell(
         protocol=protocol,
         faulty=faulty,
         synchrony=synchrony,
+        schedule=schedule,
         seed=seed,
         horizon=horizon,
     )

@@ -110,6 +110,23 @@ class DiscoveryState:
         pds = {owner: frozenset(entry.message.pd) for owner, entry in self.records.items()}
         return KnowledgeView(known=frozenset(self.known), pds=pds)
 
+    def view_key(self) -> tuple:
+        """Hashable identity of the current view content.
+
+        Two discovery states with equal ``view_key()`` produce equal
+        :meth:`view` results, so the key indexes the process-local
+        sink-search memo of :mod:`repro.core.locators`: different nodes of
+        the same simulation (or of different runs in the same worker
+        process) whose views converged share one search instead of each
+        re-running it.
+        """
+        return (
+            frozenset(self.known),
+            frozenset(
+                (owner, frozenset(entry.message.pd)) for owner, entry in self.records.items()
+            ),
+        )
+
     def pd_of(self, process: ProcessId) -> frozenset[ProcessId] | None:
         """The (claimed) participant detector received from ``process``, if any."""
         entry = self.records.get(process)

@@ -10,11 +10,20 @@ version cache so the search only re-runs when the discovery state changed.
   once the view contains a strongest sink with no equally-strong proper
   subset (Theorem 8, as clarified in DESIGN.md), together with the implied
   fault-threshold estimate ``f_Gdi``.
+
+On top of the per-locator version cache sits a *process-local* memo keyed
+by the exact view content (:meth:`DiscoveryState.view_key`): in a run, all
+correct nodes converge towards the same received-PD view, so most searches
+are exact repeats of a search some other node already ran.  The memo turns
+those repeats into dictionary hits — across nodes of one simulation and
+across the runs a sweep worker executes — without changing any result (the
+searches are pure functions of the view, the threshold and the options).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.discovery import DiscoveryState
 from repro.graphs.knowledge_graph import ProcessId
@@ -27,6 +36,63 @@ from repro.graphs.sink_search import (
 )
 
 
+class SinkSearchMemo:
+    """Bounded process-local memo of sink/core search results.
+
+    Keys embed the full view content, so a hit is always an exact repeat of
+    a previous search (including ``None`` results for views that do not yet
+    admit a witness — by far the most frequent case while discovery is
+    converging).  Eviction is FIFO: view keys are reached through a
+    monotonically growing discovery state, so old views never come back.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: dict[tuple, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    _MISS = object()
+
+    def lookup(self, key: tuple) -> Any:
+        """Return the cached result or :data:`SinkSearchMemo._MISS`."""
+        result = self._entries.get(key, self._MISS)
+        if result is self._MISS:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def store(self, key: tuple, value: Any) -> None:
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: The process-local memo shared by every locator in this process.
+_PROCESS_MEMO = SinkSearchMemo()
+
+
+def sink_search_memo() -> SinkSearchMemo:
+    """The process-local search memo (exposed for stats and tests)."""
+    return _PROCESS_MEMO
+
+
 @dataclass
 class SinkLocator:
     """The Sink algorithm (Algorithm 2): locate the sink given ``f``."""
@@ -36,22 +102,32 @@ class SinkLocator:
     _last_version: int = field(init=False, default=-1)
     _witness: SinkWitness | None = field(init=False, default=None)
     attempts: int = field(init=False, default=0)
+    memo_hits: int = field(init=False, default=0)
 
     def locate(self, discovery: DiscoveryState) -> SinkWitness | None:
         """Return the sink witness if the current view admits one.
 
-        The result is cached per discovery-state version, so calling this on
-        every message is cheap when nothing changed.
+        The result is cached per discovery-state version (calling this on
+        every message is cheap when nothing changed) and, across locators,
+        in the process-local view-keyed memo: a view some other node already
+        searched is answered without re-running the search.
         """
         if self._witness is not None:
             return self._witness
         if discovery.version == self._last_version:
             return None
         self._last_version = discovery.version
+        key = ("sink", self.fault_threshold, self.options, discovery.view_key())
+        cached = _PROCESS_MEMO.lookup(key)
+        if cached is not SinkSearchMemo._MISS:
+            self.memo_hits += 1
+            self._witness = cached
+            return self._witness
         self.attempts += 1
         self._witness = find_sink_with_fault_threshold(
             discovery.view(), self.fault_threshold, self.options
         )
+        _PROCESS_MEMO.store(key, self._witness)
         return self._witness
 
     @property
@@ -75,6 +151,7 @@ class CoreLocator:
     _last_version: int = field(init=False, default=-1)
     _core: CoreWitness | None = field(init=False, default=None)
     attempts: int = field(init=False, default=0)
+    memo_hits: int = field(init=False, default=0)
 
     def locate(self, discovery: DiscoveryState) -> CoreWitness | None:
         """Return the core witness if the current view admits one."""
@@ -83,8 +160,15 @@ class CoreLocator:
         if discovery.version == self._last_version:
             return None
         self._last_version = discovery.version
+        key = ("core", self.options, discovery.view_key())
+        cached = _PROCESS_MEMO.lookup(key)
+        if cached is not SinkSearchMemo._MISS:
+            self.memo_hits += 1
+            self._core = cached
+            return self._core
         self.attempts += 1
         self._core = find_core_candidate(discovery.view(), self.options)
+        _PROCESS_MEMO.store(key, self._core)
         return self._core
 
     @property

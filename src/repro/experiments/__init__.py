@@ -48,6 +48,14 @@ from repro.experiments.backends import (
 from repro.experiments.cache import GraphAnalysis, GraphAnalysisCache, analyze_graph
 from repro.experiments.results import GroupStats, ScenarioOutcome, SuiteResult
 from repro.experiments.runner import SuiteExecutionError, SuiteRunner, execute_scenario
+from repro.adversary.schedule import (
+    CrashRule,
+    DelayRule,
+    NetworkSchedule,
+    PartitionRule,
+    ScheduleContractError,
+    ScheduleError,
+)
 from repro.experiments.scenario import (
     AdversaryMix,
     GraphSpec,
@@ -59,6 +67,12 @@ from repro.experiments.scenario import (
 
 __all__ = [
     "AdversaryMix",
+    "NetworkSchedule",
+    "DelayRule",
+    "PartitionRule",
+    "CrashRule",
+    "ScheduleError",
+    "ScheduleContractError",
     "GraphSpec",
     "SynchronySpec",
     "Scenario",

@@ -10,7 +10,9 @@ that matrix a first-class, fully declarative representation:
   cache;
 * :class:`SynchronySpec` does the same for the synchrony models;
 * :class:`Scenario` bundles one complete cell: graph, protocol mode, fault
-  behaviour, synchrony, seed, horizon and protocol options;
+  behaviour (or :class:`~repro.adversary.mix.AdversaryMix`), network fault
+  schedule (:class:`~repro.adversary.schedule.NetworkSchedule`), synchrony,
+  seed, horizon and protocol options;
 * :class:`ScenarioMatrix` expands cartesian products over all axes with
   deterministic per-cell seed derivation (via
   :func:`repro.core.seeding.derive_seed`), so the same matrix always
@@ -33,6 +35,7 @@ from itertools import product
 from typing import Any
 
 from repro.adversary.mix import AdversaryMix
+from repro.adversary.schedule import NetworkSchedule
 from repro.core.config import ProtocolMode
 from repro.core.seeding import derive_seed
 from repro.graphs.figures import FigureScenario, paper_figures
@@ -237,6 +240,10 @@ class Scenario:
     #: supersedes ``behaviour`` (which is kept purely as a report label);
     #: plain behaviour strings remain the homogeneous shorthand.
     mix: AdversaryMix | None = None
+    #: Optional declarative network fault schedule (scripted delays,
+    #: partitions, crashes) installed on the run's network and validated
+    #: against the synchrony model when the cell is materialised.
+    schedule: NetworkSchedule | None = None
     synchrony: SynchronySpec = SynchronySpec(kind="partial")
     seed: int = 0
     horizon: float = 5_000.0
@@ -270,11 +277,11 @@ class Scenario:
 
         The encoding is lossless for every declarative field — enum-valued
         protocol options are tagged rather than ``repr``'d, adversary mixes
-        are encoded entry by entry — so :meth:`from_dict` reconstructs an
-        equal scenario in any process.  The ``mix`` key is only present when
-        a mix is set, which keeps the encoding (and therefore
-        :meth:`cell_digest`) of plain behaviour-string scenarios
-        byte-identical to pre-mix releases.
+        and network schedules are encoded entry by entry / rule by rule — so
+        :meth:`from_dict` reconstructs an equal scenario in any process.
+        The ``mix`` and ``schedule`` keys are only present when set, which
+        keeps the encoding (and therefore :meth:`cell_digest`) of scenarios
+        without them byte-identical to earlier releases.
         """
         payload = {
             "name": self.name,
@@ -289,6 +296,8 @@ class Scenario:
         }
         if self.mix is not None:
             payload["mix"] = self.mix.to_dict()
+        if self.schedule is not None:
+            payload["schedule"] = self.schedule.to_dict()
         return payload
 
     @classmethod
@@ -306,6 +315,11 @@ class Scenario:
             mode=ProtocolMode(payload["mode"]),
             behaviour=payload["behaviour"],
             mix=AdversaryMix.from_dict(payload["mix"]) if payload.get("mix") else None,
+            schedule=(
+                NetworkSchedule.from_dict(payload["schedule"])
+                if payload.get("schedule")
+                else None
+            ),
             synchrony=SynchronySpec.from_dict(payload["synchrony"]),
             seed=payload["seed"],
             horizon=payload["horizon"],
@@ -350,6 +364,11 @@ class ScenarioMatrix:
     behaviours: tuple[str, ...] = ("silent",)
     #: Heterogeneous adversary cells, swept alongside ``behaviours``.
     mixes: tuple[AdversaryMix, ...] = ()
+    #: Declarative network fault schedules, swept as their own axis.
+    #: ``None`` entries are unscripted reference cells; the default single
+    #: ``None`` keeps schedule-less matrices expanding (names, seeds,
+    #: digests) byte-identically to pre-schedule releases.
+    schedules: tuple[NetworkSchedule | None, ...] = (None,)
     synchrony: tuple[SynchronySpec, ...] = (SynchronySpec(kind="partial"),)
     #: Number of seed replicates per cell.
     replicates: int = 1
@@ -362,6 +381,7 @@ class ScenarioMatrix:
         self.modes = tuple(self.modes)
         self.behaviours = tuple(self.behaviours)
         self.mixes = tuple(self.mixes)
+        self.schedules = tuple(self.schedules)
         self.synchrony = tuple(self.synchrony)
         self.protocol_options = tuple(self.protocol_options)
         if self.replicates < 1:
@@ -370,6 +390,10 @@ class ScenarioMatrix:
             raise ValueError("a matrix needs at least one graph spec")
         if not self.behaviours and not self.mixes:
             raise ValueError("a matrix needs at least one behaviour or mix")
+        if not self.schedules:
+            raise ValueError(
+                "a matrix needs at least one schedule (use None for the unscripted reference)"
+            )
 
     def __len__(self) -> int:
         return (
@@ -377,6 +401,7 @@ class ScenarioMatrix:
             * len(self.modes)
             * (len(self.behaviours) + len(self.mixes))
             * len(self.synchrony)
+            * len(self.schedules)
             * self.replicates
         )
 
@@ -384,13 +409,20 @@ class ScenarioMatrix:
         """Expand the matrix into its deterministic scenario list."""
         cells: list[Scenario] = []
         adversaries: tuple[str | AdversaryMix, ...] = self.behaviours + self.mixes
-        for graph, mode, adversary, synchrony in product(
-            self.graphs, self.modes, adversaries, self.synchrony
+        for graph, mode, adversary, synchrony, schedule in product(
+            self.graphs, self.modes, adversaries, self.synchrony, self.schedules
         ):
             mix = adversary if isinstance(adversary, AdversaryMix) else None
             adversary_key = mix.key if mix is not None else adversary
             for replicate in range(self.replicates):
-                coordinates = (graph.key, mode.value, adversary_key, synchrony.key, replicate)
+                coordinates = (graph.key, mode.value, adversary_key, synchrony.key)
+                if schedule is not None:
+                    # Scheduled cells append their coordinate (and get an
+                    # independent derived seed); unscripted cells keep the
+                    # exact pre-schedule coordinates, so their names, seeds
+                    # and ``cell_digest``s stay byte-identical.
+                    coordinates += (schedule.key,)
+                coordinates += (replicate,)
                 seed = derive_seed(self.base_seed, *coordinates)
                 labels = {
                     "matrix": self.name,
@@ -405,6 +437,8 @@ class ScenarioMatrix:
                     # cells keep their label set (and hence their
                     # ``cell_digest``) byte-identical to pre-mix releases.
                     labels["mix"] = mix.key
+                if schedule is not None:
+                    labels["schedule"] = schedule.name or schedule.key
                 cells.append(
                     Scenario(
                         name=f"{self.name}[{'|'.join(map(str, coordinates))}]",
@@ -412,6 +446,7 @@ class ScenarioMatrix:
                         mode=mode,
                         behaviour=adversary_key,
                         mix=mix,
+                        schedule=schedule,
                         synchrony=synchrony,
                         seed=seed,
                         horizon=self.horizon,
@@ -432,6 +467,7 @@ def chain_matrices(*matrices: ScenarioMatrix) -> list[Scenario]:
 
 __all__ = [
     "AdversaryMix",
+    "NetworkSchedule",
     "GraphSpec",
     "SynchronySpec",
     "Scenario",

@@ -39,6 +39,57 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.sim.process import Process
 
 
+class _Withhold:
+    """Sentinel decision: the matched message is never delivered."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "WITHHOLD"
+
+
+#: Returned by :meth:`NetworkRule.decide` to drop the message forever.
+WITHHOLD = _Withhold()
+
+
+class NetworkRule:
+    """One named, ordered message-scheduling rule.
+
+    Rules form the first-class adversarial-scheduling path of the
+    :class:`Network`: they are consulted in installation order for every
+    sent message, and the *first* rule returning a decision wins.  A
+    decision is either a delivery delay (a float), :data:`WITHHOLD` (the
+    message is dropped forever), or ``None`` (no match; the next rule, and
+    ultimately the synchrony model, decides).
+
+    The rule ``name`` appears verbatim in the
+    :class:`~repro.sim.tracing.SimulationTrace` drop/delay reasons, so a
+    trace always says *which* scripted fault touched a message — unlike the
+    opaque delay-override closures this engine replaces.
+    """
+
+    name: str = "rule"
+
+    def decide(self, envelope: Envelope, *, now: float) -> float | _Withhold | None:
+        """Return a delay, :data:`WITHHOLD`, or ``None`` when not matching."""
+        raise NotImplementedError
+
+
+class _CallableRule(NetworkRule):
+    """Adapter keeping the legacy delay-override closures working.
+
+    The historical override contract cannot withhold: the closure returns a
+    delay to apply or ``None`` to fall through, which maps exactly onto the
+    rule engine's "no match" decision.
+    """
+
+    def __init__(self, name: str, fn: Callable[[Envelope], float | None]) -> None:
+        self.name = name
+        self._fn = fn
+
+    def decide(self, envelope: Envelope, *, now: float) -> float | None:
+        del now
+        return self._fn(envelope)
+
+
 class SynchronyModel:
     """Strategy object deciding the delivery delay of each message."""
 
@@ -150,7 +201,7 @@ class Network:
         self.faulty = frozenset(faulty)
         self._processes: dict[ProcessId, "Process"] = {}
         self._crashed: set[ProcessId] = set()
-        self._delay_overrides: list[Callable[[Envelope], float | None]] = []
+        self._rules: list[NetworkRule] = []
 
     # ------------------------------------------------------------------
     # membership
@@ -184,17 +235,33 @@ class Network:
     # ------------------------------------------------------------------
     # adversarial scheduling hooks
     # ------------------------------------------------------------------
+    def add_rule(self, rule: NetworkRule) -> None:
+        """Install a named message-scheduling rule (consulted in order).
+
+        The first installed rule whose :meth:`NetworkRule.decide` returns a
+        decision wins; the synchrony model only schedules messages no rule
+        claims.  Declarative :class:`~repro.adversary.schedule.NetworkSchedule`
+        objects compile onto this hook; rules only *increase* adversarial
+        power for messages involving faulty processes or pre-GST traffic
+        (the schedule layer validates that contract against the model).
+        """
+        self._rules.append(rule)
+
+    @property
+    def rules(self) -> tuple[NetworkRule, ...]:
+        """The installed scheduling rules, in consultation order."""
+        return tuple(self._rules)
+
     def add_delay_override(self, override: Callable[[Envelope], float | None]) -> None:
-        """Install an adversarial per-message delay override.
+        """Install an adversarial per-message delay override (legacy API).
 
         The override receives the envelope and returns a delay (overriding
-        the synchrony model), ``None`` to fall through to the next override
-        or to the model.  Overrides only *increase* adversarial power for
-        messages involving faulty processes or pre-GST traffic; the
-        experiment harness uses them to build the indistinguishable
-        executions of Theorem 7.
+        the synchrony model) or ``None`` to fall through to the next rule or
+        to the model.  Overrides are wrapped into anonymous
+        :class:`NetworkRule` instances; prefer :meth:`add_rule` (or a
+        declarative schedule), which names the rule in trace reasons.
         """
-        self._delay_overrides.append(override)
+        self.add_rule(_CallableRule(f"override#{len(self._rules)}", override))
 
     # ------------------------------------------------------------------
     # transport
@@ -218,14 +285,14 @@ class Network:
             return
 
         delay: float | None = None
-        overridden = False
-        for override in self._delay_overrides:
-            candidate = override(envelope)
-            if candidate is not None:
-                delay = candidate
-                overridden = True
+        matched: NetworkRule | None = None
+        decision: float | _Withhold | None = None
+        for rule in self._rules:
+            decision = rule.decide(envelope, now=self.simulator.now)
+            if decision is not None:
+                matched = rule
                 break
-        if not overridden:
+        if matched is None:
             delay = self.model.delay(
                 now=self.simulator.now,
                 sender=sender,
@@ -234,9 +301,15 @@ class Network:
                 receiver_correct=self.is_correct(receiver),
                 rng=self.rng,
             )
-        if delay is None:
-            self.trace.on_drop(envelope, "withheld by scheduler")
+            if delay is None:
+                self.trace.on_drop(envelope, "withheld by scheduler")
+                return
+        elif isinstance(decision, _Withhold):
+            self.trace.on_rule_drop(envelope, matched.name)
             return
+        else:
+            delay = float(decision)
+            self.trace.on_rule_delay(envelope, matched.name, delay)
 
         def deliver() -> None:
             if receiver in self._crashed:

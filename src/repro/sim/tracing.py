@@ -27,6 +27,10 @@ class SimulationTrace:
     sent_by_kind: Counter = field(default_factory=Counter)
     sent_by_process: Counter = field(default_factory=Counter)
     delivered_by_kind: Counter = field(default_factory=Counter)
+    #: Per-rule tallies of messages withheld/delayed by named scheduling
+    #: rules (the declarative fault-schedule path of the network).
+    dropped_by_rule: Counter = field(default_factory=Counter)
+    delayed_by_rule: Counter = field(default_factory=Counter)
     decisions: dict[ProcessId, tuple[Any, float]] = field(default_factory=dict)
     sink_returns: dict[ProcessId, tuple[frozenset[ProcessId], float]] = field(default_factory=dict)
     events: list[tuple[float, str]] = field(default_factory=list)
@@ -50,6 +54,19 @@ class SimulationTrace:
         self.messages_dropped += 1
         if self.record_messages:
             self.events.append((0.0, f"drop ({reason}): {envelope.describe()}"))
+
+    def on_rule_drop(self, envelope: Envelope, rule: str) -> None:
+        """A named scheduling rule withheld the message forever."""
+        self.dropped_by_rule[rule] += 1
+        self.on_drop(envelope, f"withheld by rule {rule!r}")
+
+    def on_rule_delay(self, envelope: Envelope, rule: str, delay: float) -> None:
+        """A named scheduling rule overrode the synchrony model's delay."""
+        self.delayed_by_rule[rule] += 1
+        if self.record_messages:
+            self.events.append(
+                (0.0, f"delay (rule {rule!r}, {delay:g}): {envelope.describe()}")
+            )
 
     # ------------------------------------------------------------------
     # protocol hooks

@@ -1,7 +1,9 @@
 """Workload builders: turn graph scenarios into runnable experiment configs."""
 
 from repro.workloads.builders import (
+    core_attached_faulty,
     default_fault_spec,
+    expected_core_of,
     fault_assignment,
     figure_run_config,
     generated_run_config,
@@ -16,4 +18,6 @@ __all__ = [
     "default_fault_spec",
     "fault_assignment",
     "mix_fault_specs",
+    "core_attached_faulty",
+    "expected_core_of",
 ]

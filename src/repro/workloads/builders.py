@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.adversary.mix import AdversaryMix
+from repro.adversary.schedule import NetworkSchedule
 from repro.adversary.spec import BEHAVIOUR_PARAMS, FaultSpec
 from repro.analysis.harness import RunConfig
 from repro.core.config import ProtocolConfig, ProtocolMode
@@ -31,6 +32,43 @@ from repro.sim.network import PartialSynchronyModel, SynchronyModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.scenario import Scenario
+
+
+def expected_core_of(scenario: "FigureScenario | GeneratedScenario") -> frozenset[ProcessId]:
+    """The expected sink/core of a graph scenario's *safe* subgraph.
+
+    Figures expose ``expected_safe_core`` / ``expected_safe_sink``;
+    generated scenarios expose ``core_of_safe_graph`` / ``sink_of_safe_graph``.
+    The core is preferred, falling back to the sink when the scenario has no
+    (unique) core ground truth.
+    """
+    if isinstance(scenario, FigureScenario):
+        return scenario.expected_safe_core or scenario.expected_safe_sink
+    return scenario.core_of_safe_graph or scenario.sink_of_safe_graph
+
+
+def core_attached_faulty(
+    scenario: "FigureScenario | GeneratedScenario",
+) -> frozenset[ProcessId]:
+    """Faulty processes *attached to* the scenario's expected sink/core.
+
+    A Byzantine process is "inside" the expected core exactly when at least
+    ``f + 1`` core members know it: that is the condition under which the
+    online algorithms place it in the returned sink via ``S2`` (see the
+    generator's ``byzantine_placement="sink"`` construction), so it is the
+    declarative meaning of :data:`repro.adversary.mix.INSIDE_CORE`
+    targeting.
+    """
+    region = expected_core_of(scenario)
+    threshold = scenario.fault_threshold + 1
+    attached = set()
+    for process in scenario.faulty:
+        knowers = sum(
+            1 for member in region if process in scenario.graph.participant_detector(member)
+        )
+        if knowers >= threshold:
+            attached.add(process)
+    return frozenset(attached)
 
 def default_fault_spec(
     behaviour: str, scenario_graph_processes: frozenset[ProcessId], **params: Any
@@ -78,11 +116,12 @@ def mix_fault_specs(
     scenario_graph_processes: frozenset[ProcessId],
     *,
     seed: int = 0,
+    inside_core: frozenset[ProcessId] | None = None,
 ) -> dict[ProcessId, FaultSpec]:
     """Materialise a declarative mix into one :class:`FaultSpec` per faulty process."""
     return {
         process: default_fault_spec(entry.behaviour, scenario_graph_processes, **dict(entry.params))
-        for process, entry in mix.assign(faulty, seed=seed).items()
+        for process, entry in mix.assign(faulty, seed=seed, inside_core=inside_core).items()
     }
 
 
@@ -92,13 +131,28 @@ def fault_assignment(
     scenario_graph_processes: frozenset[ProcessId],
     *,
     seed: int = 0,
+    inside_core: frozenset[ProcessId] | None = None,
 ) -> dict[ProcessId, FaultSpec]:
     """The fault assignment for one run: homogeneous fanout or a per-process mix."""
     if isinstance(behaviour, AdversaryMix):
-        return mix_fault_specs(behaviour, faulty, scenario_graph_processes, seed=seed)
+        return mix_fault_specs(
+            behaviour, faulty, scenario_graph_processes, seed=seed, inside_core=inside_core
+        )
     return {
         process: default_fault_spec(behaviour, scenario_graph_processes) for process in faulty
     }
+
+
+def _inside_core_for(
+    behaviour: "str | AdversaryMix",
+    scenario: "FigureScenario | GeneratedScenario",
+) -> frozenset[ProcessId] | None:
+    """The core-attachment ground truth, computed only when placement needs it."""
+    if isinstance(behaviour, AdversaryMix) and any(
+        isinstance(entry.target, str) for entry in behaviour.entries
+    ):
+        return core_attached_faulty(scenario)
+    return None
 
 
 def _protocol_for(mode: ProtocolMode, fault_threshold: int, **protocol_kwargs) -> ProtocolConfig:
@@ -114,12 +168,19 @@ def figure_run_config(
     behaviour: "str | AdversaryMix" = "silent",
     proposals: dict[ProcessId, Any] | None = None,
     synchrony: SynchronyModel | None = None,
+    schedule: NetworkSchedule | None = None,
     seed: int = 0,
     horizon: float = 5_000.0,
     **protocol_kwargs,
 ) -> RunConfig:
     """Build a run configuration for a reconstructed paper figure."""
-    faulty = fault_assignment(behaviour, scenario.faulty, scenario.graph.processes, seed=seed)
+    faulty = fault_assignment(
+        behaviour,
+        scenario.faulty,
+        scenario.graph.processes,
+        seed=seed,
+        inside_core=_inside_core_for(behaviour, scenario),
+    )
     protocol = _protocol_for(mode, scenario.fault_threshold, **protocol_kwargs)
     return RunConfig(
         graph=scenario.graph,
@@ -127,6 +188,7 @@ def figure_run_config(
         faulty=faulty,
         proposals=proposals or {},
         synchrony=synchrony if synchrony is not None else PartialSynchronyModel(),
+        schedule=schedule,
         seed=seed,
         horizon=horizon,
     )
@@ -145,7 +207,11 @@ def scenario_run_config(scenario: "Scenario") -> RunConfig:
         scenario.mix if scenario.mix is not None else scenario.behaviour
     )
     faulty = fault_assignment(
-        adversary, built.faulty, built.graph.processes, seed=scenario.seed
+        adversary,
+        built.faulty,
+        built.graph.processes,
+        seed=scenario.seed,
+        inside_core=_inside_core_for(adversary, built),
     )
     protocol = _protocol_for(
         scenario.mode, built.fault_threshold, **dict(scenario.protocol_options)
@@ -155,6 +221,7 @@ def scenario_run_config(scenario: "Scenario") -> RunConfig:
         protocol=protocol,
         faulty=faulty,
         synchrony=scenario.synchrony.build(),
+        schedule=scenario.schedule,
         seed=scenario.seed,
         horizon=scenario.horizon,
     )
@@ -167,12 +234,19 @@ def generated_run_config(
     behaviour: "str | AdversaryMix" = "silent",
     proposals: dict[ProcessId, Any] | None = None,
     synchrony: SynchronyModel | None = None,
+    schedule: NetworkSchedule | None = None,
     seed: int = 0,
     horizon: float = 5_000.0,
     **protocol_kwargs,
 ) -> RunConfig:
     """Build a run configuration for a generated random scenario."""
-    faulty = fault_assignment(behaviour, scenario.faulty, scenario.graph.processes, seed=seed)
+    faulty = fault_assignment(
+        behaviour,
+        scenario.faulty,
+        scenario.graph.processes,
+        seed=seed,
+        inside_core=_inside_core_for(behaviour, scenario),
+    )
     protocol = _protocol_for(mode, scenario.fault_threshold, **protocol_kwargs)
     return RunConfig(
         graph=scenario.graph,
@@ -180,6 +254,7 @@ def generated_run_config(
         faulty=faulty,
         proposals=proposals or {},
         synchrony=synchrony if synchrony is not None else PartialSynchronyModel(),
+        schedule=schedule,
         seed=seed,
         horizon=horizon,
     )

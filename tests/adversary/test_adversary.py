@@ -4,7 +4,7 @@ import pickle
 
 import pytest
 
-from repro.adversary.mix import REST, AdversaryMix, MixEntry
+from repro.adversary.mix import INSIDE_CORE, OUTSIDE_CORE, REST, AdversaryMix, MixEntry
 from repro.adversary.spec import FaultSpec
 from repro.adversary.nodes import build_faulty_node
 from repro.analysis import run_consensus
@@ -106,6 +106,133 @@ class TestAdversaryMix:
         import json
 
         assert AdversaryMix.from_dict(json.loads(json.dumps(mix.to_dict()))) == mix
+
+
+class TestMixTargeting:
+    FAULTY = frozenset({4, 7, 9, 12})
+    INSIDE = frozenset({4, 9})
+
+    def test_inside_and_outside_core_placement(self):
+        mix = AdversaryMix(
+            entries=(
+                MixEntry(behaviour="equivocating_pd", target=INSIDE_CORE),
+                MixEntry(behaviour="lying_pd", target=OUTSIDE_CORE),
+                MixEntry(behaviour="silent", count=REST),
+            )
+        )
+        for seed in range(8):
+            assignment = mix.assign(self.FAULTY, seed=seed, inside_core=self.INSIDE)
+            assert set(assignment) == self.FAULTY
+            equivocator = next(
+                p for p, e in assignment.items() if e.behaviour == "equivocating_pd"
+            )
+            liar = next(p for p, e in assignment.items() if e.behaviour == "lying_pd")
+            assert equivocator in self.INSIDE
+            assert liar not in self.INSIDE
+
+    def test_explicit_id_targeting(self):
+        mix = AdversaryMix(
+            entries=(
+                MixEntry(behaviour="crash", target=(7,)),
+                MixEntry(behaviour="silent", count=REST),
+            )
+        )
+        assignment = mix.assign(self.FAULTY, seed=5)
+        assert assignment[7].behaviour == "crash"
+
+    def test_explicit_ids_must_be_faulty(self):
+        mix = AdversaryMix(entries=(MixEntry(behaviour="crash", target=(99,)),))
+        with pytest.raises(ValueError, match="does not declare faulty"):
+            mix.assign(self.FAULTY, seed=0)
+
+    def test_placement_is_deterministic_and_varies_across_seeds(self):
+        mix = AdversaryMix(
+            entries=(
+                MixEntry(behaviour="equivocating_pd", target=INSIDE_CORE),
+                MixEntry(behaviour="silent", count=REST),
+            )
+        )
+        first = mix.assign(self.FAULTY, seed=2, inside_core=self.INSIDE)
+        assert first == mix.assign(self.FAULTY, seed=2, inside_core=self.INSIDE)
+        placements = {
+            next(
+                p
+                for p, e in mix.assign(self.FAULTY, seed=s, inside_core=self.INSIDE).items()
+                if e.behaviour == "equivocating_pd"
+            )
+            for s in range(16)
+        }
+        assert placements == set(self.INSIDE)  # rotates within the eligible set
+
+    def test_targeting_requires_an_exposed_core(self):
+        mix = AdversaryMix(entries=(MixEntry(behaviour="silent", target=INSIDE_CORE),))
+        with pytest.raises(ValueError, match="does not expose one"):
+            mix.assign(self.FAULTY, seed=0)
+
+    def test_untargeted_counts_cannot_starve_later_targeted_entries(self):
+        # Targeted entries place first: even when an earlier untargeted
+        # fixed count could swallow the only eligible inside-core process,
+        # every seed must yield a valid assignment (placement succeeds
+        # whenever one exists, independent of the shuffle).
+        mix = AdversaryMix(
+            entries=(
+                MixEntry(behaviour="silent", count=3),
+                MixEntry(behaviour="equivocating_pd", target=INSIDE_CORE),
+            )
+        )
+        for seed in range(20):
+            assignment = mix.assign(self.FAULTY, seed=seed, inside_core=frozenset({4}))
+            assert assignment[4].behaviour == "equivocating_pd"
+
+    def test_not_enough_eligible_processes(self):
+        mix = AdversaryMix(
+            entries=(
+                MixEntry(behaviour="silent", count=3, target=INSIDE_CORE),
+                MixEntry(behaviour="silent", count=REST),
+            )
+        )
+        with pytest.raises(ValueError, match="eligible"):
+            mix.assign(self.FAULTY, seed=0, inside_core=self.INSIDE)
+
+    def test_untargeted_mixes_place_exactly_as_before_targeting_existed(self):
+        # Pinned: the shuffled-prefix placement (and therefore every recorded
+        # mix trajectory) is unchanged by the targeting refactor.
+        mix = AdversaryMix.of(equivocating_pd=1, crash=1, silent=REST)
+        assignment = mix.assign(frozenset({4, 7, 9, 12}), seed=3)
+        assert {p: e.behaviour for p, e in assignment.items()} == {
+            9: "equivocating_pd",
+            7: "crash",
+            4: "silent",
+            12: "silent",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cannot be targeted"):
+            MixEntry(behaviour="silent", count=REST, target=INSIDE_CORE)
+        with pytest.raises(ValueError, match="unknown target"):
+            MixEntry(behaviour="silent", target="near_core")
+        with pytest.raises(ValueError, match="must not be empty"):
+            MixEntry(behaviour="silent", target=())
+
+    def test_key_and_codec_round_trip(self):
+        import json
+
+        mix = AdversaryMix(
+            entries=(
+                MixEntry(behaviour="equivocating_pd", target=INSIDE_CORE),
+                MixEntry(behaviour="crash", target=(7, 4), params=(("at", 10.0),)),
+                MixEntry(behaviour="silent", count=REST),
+            ),
+            name="targeted",
+        )
+        assert "@inside_core" in mix.key
+        rebuilt = AdversaryMix.from_dict(json.loads(json.dumps(mix.to_dict())))
+        assert rebuilt == mix
+        assert rebuilt.entries[1].target == (4, 7)  # canonicalised order
+        # Untargeted entries keep their pre-targeting keys and payloads.
+        plain = MixEntry(behaviour="silent", count=REST)
+        assert plain.key == "silent:rest"
+        assert "target" not in plain.to_dict()
 
 
 def build_world(figures, behaviour_spec):

@@ -4,8 +4,21 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.locators import sink_search_memo
 from repro.graphs.figures import paper_figures
 from repro.graphs.knowledge_graph import KnowledgeGraph
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sink_search_memo():
+    """Isolate tests from the process-local sink-search memo.
+
+    The memo is deliberately process-global (sweep workers share it across
+    runs), but tests asserting search counts must not observe hits produced
+    by earlier tests.
+    """
+    sink_search_memo().clear()
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -92,3 +92,66 @@ class TestCoreLocator:
         core_b = CoreLocator().locate(state_b)
         assert core_a is not None and core_b is not None
         assert core_a.members != core_b.members
+
+
+class TestSinkSearchMemo:
+    def test_converged_views_share_one_search(self):
+        from repro.core.locators import sink_search_memo
+
+        registry = KeyRegistry(seed=0)
+        graph = figure_1b().graph
+        # Two different observers whose views absorbed the same records
+        # reach the same view content, so the second locator answers from
+        # the process-local memo without re-running the search.
+        state_one = discovery_for(graph, 1, registry, absorbed=[2, 3])
+        state_two = discovery_for(graph, 2, registry, absorbed=[1, 3])
+        state_two.absorb(state_one.snapshot())
+        state_one.absorb(state_two.snapshot())
+        assert state_one.view_key() == state_two.view_key()
+
+        first = SinkLocator(fault_threshold=1)
+        second = SinkLocator(fault_threshold=1)
+        witness_one = first.locate(state_one)
+        witness_two = second.locate(state_two)
+        assert witness_one is not None
+        assert witness_two is witness_one  # the memoised object itself
+        assert first.attempts == 1 and first.memo_hits == 0
+        assert second.attempts == 0 and second.memo_hits == 1
+        stats = sink_search_memo().stats()
+        assert stats["hits"] >= 1
+
+    def test_negative_results_are_memoised_too(self):
+        registry = KeyRegistry(seed=0)
+        graph = figure_1b().graph
+        state = discovery_for(graph, 1, registry, absorbed=[2])
+        first = SinkLocator(fault_threshold=1)
+        second = SinkLocator(fault_threshold=1)
+        assert first.locate(state) is None
+        assert second.locate(state) is None
+        assert (first.attempts, second.attempts) == (1, 0)
+        assert second.memo_hits == 1
+
+    def test_memo_keys_differ_per_fault_threshold_and_kind(self):
+        registry = KeyRegistry(seed=0)
+        graph = figure_1b().graph
+        state = discovery_for(graph, 1, registry, absorbed=[2, 3])
+        sink = SinkLocator(fault_threshold=1)
+        stricter = SinkLocator(fault_threshold=2)
+        core = CoreLocator()
+        sink.locate(state)
+        stricter.locate(state)
+        core.locate(state)
+        # Three distinct searches: no cross-contamination between keys.
+        assert (sink.memo_hits, stricter.memo_hits, core.memo_hits) == (0, 0, 0)
+
+    def test_eviction_keeps_the_memo_bounded(self):
+        from repro.core.locators import SinkSearchMemo
+
+        memo = SinkSearchMemo(max_entries=2)
+        memo.store(("a",), 1)
+        memo.store(("b",), 2)
+        memo.store(("c",), 3)
+        assert memo.stats()["entries"] == 2
+        assert memo.stats()["evictions"] == 1
+        assert memo.lookup(("a",)) is SinkSearchMemo._MISS  # FIFO evicted
+        assert memo.lookup(("c",)) == 3

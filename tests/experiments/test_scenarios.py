@@ -5,6 +5,7 @@ import pickle
 import pytest
 
 from repro.adversary.mix import AdversaryMix
+from repro.adversary.schedule import DelayRule, NetworkSchedule, PartitionRule
 from repro.core import ProtocolMode
 from repro.core.seeding import derive_seed
 from repro.experiments import (
@@ -226,6 +227,118 @@ class TestScenarioMatrix:
             "b21e352e06d1026d8911eb0e332e9bc114b1bf586ff7efc27f2324b2d7a8c56a",
             "b1079746c43c3276f45e88c39f11d356cb405ef6cd16798752d5f79d5176e540",
         ]
+
+
+class TestScheduleAxis:
+    SCHEDULES = (
+        None,
+        NetworkSchedule(
+            name="partition-until-gst",
+            rules=(
+                PartitionRule(groups=(frozenset({1, 2}), frozenset({3, 4, 5})), t_to=50.0),
+            ),
+        ),
+        NetworkSchedule(name="mute-faulty", rules=(DelayRule(src="faulty"),)),
+    )
+
+    def matrix(self, schedules=SCHEDULES):
+        return ScenarioMatrix(
+            name="sx",
+            graphs=(GraphSpec.figure("fig4b"),),
+            behaviours=("silent",),
+            schedules=schedules,
+            replicates=2,
+            base_seed=9,
+        )
+
+    def test_size_counts_the_schedule_axis(self):
+        assert len(self.matrix()) == 1 * 1 * 1 * 1 * 3 * 2 == len(self.matrix().scenarios())
+
+    def test_scheduled_cells_carry_the_schedule_and_its_label(self):
+        cells = self.matrix().scenarios()
+        scheduled = [cell for cell in cells if cell.schedule is not None]
+        assert len(scheduled) == 4
+        for cell in scheduled:
+            assert cell.label("schedule") == cell.schedule.name
+            assert cell.schedule.key in cell.name
+        for cell in cells:
+            if cell.schedule is None:
+                assert cell.label("schedule") is None
+
+    def test_expansion_is_deterministic_and_distinctly_seeded(self):
+        cells = self.matrix().scenarios()
+        assert cells == self.matrix().scenarios()
+        assert len({cell.seed for cell in cells}) == len(cells)
+        assert len({cell.cell_digest() for cell in cells}) == len(cells)
+
+    def test_unscripted_cells_are_identical_to_a_schedule_less_matrix(self):
+        # The None entries of a schedule sweep are byte-identical (name,
+        # seed, digest) to the cells of a matrix without the axis, so
+        # reference columns join up with previously journaled outcomes.
+        swept = [cell for cell in self.matrix().scenarios() if cell.schedule is None]
+        plain = self.matrix(schedules=(None,)).scenarios()
+        assert [c.name for c in swept] == [c.name for c in plain]
+        assert [c.seed for c in swept] == [c.seed for c in plain]
+        assert [c.cell_digest() for c in swept] == [c.cell_digest() for c in plain]
+
+    def test_schedule_changes_the_digest_and_the_seed(self):
+        cells = self.matrix().scenarios()
+        by_schedule = {cell.label("schedule"): cell for cell in cells if cell.label("replicate") == 0}
+        digests = {cell.cell_digest() for cell in by_schedule.values()}
+        seeds = {cell.seed for cell in by_schedule.values()}
+        assert len(digests) == len(by_schedule) == 3
+        assert len(seeds) == 3
+
+    def test_validation_rejects_an_empty_schedule_axis(self):
+        with pytest.raises(ValueError):
+            self.matrix(schedules=())
+
+
+class TestScheduleCodec:
+    SCHEDULE = NetworkSchedule(
+        name="split",
+        rules=(PartitionRule(groups=(frozenset({1}), frozenset({2, 3})), t_to=40.0),),
+    )
+
+    def test_round_trip_is_lossless(self):
+        import json
+
+        scenario = Scenario(
+            name="s", graph=GraphSpec.figure("fig4b"), schedule=self.SCHEDULE
+        )
+        payload = json.loads(json.dumps(scenario.to_dict()))
+        rebuilt = Scenario.from_dict(payload)
+        assert rebuilt == scenario
+        assert rebuilt.schedule == self.SCHEDULE
+        assert rebuilt.cell_digest() == scenario.cell_digest()
+
+    def test_plain_scenarios_have_no_schedule_key(self):
+        # The absence of the key is what keeps plain digests byte-identical
+        # across the introduction of the schedule axis.
+        assert "schedule" not in Scenario(name="s", graph=GraphSpec.figure("fig1b")).to_dict()
+
+    def test_schedule_changes_the_digest(self):
+        plain = Scenario(name="s", graph=GraphSpec.figure("fig4b"))
+        scheduled = Scenario(name="s", graph=GraphSpec.figure("fig4b"), schedule=self.SCHEDULE)
+        assert plain.cell_digest() != scheduled.cell_digest()
+
+    def test_round_trip_through_a_work_queue_job_file(self, tmp_path):
+        # The real boundary: the schedule must survive the exact JSON job
+        # file a work-queue (or TCP) worker rebuilds its scenario from.
+        import json
+
+        from repro.experiments import WorkQueue
+
+        scenario = Scenario(
+            name="s", graph=GraphSpec.figure("fig4b"), schedule=self.SCHEDULE
+        )
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue([(0, scenario)], "repro.experiments.runner:execute_scenario")
+        (job_file,) = (tmp_path / "q" / "pending").glob("*.json")
+        job = json.loads(job_file.read_text())
+        rebuilt = Scenario.from_dict(job["scenario"])
+        assert rebuilt == scenario
+        assert rebuilt.cell_digest() == scenario.cell_digest() == job["digest"]
 
 
 class TestMixAxis:

@@ -149,6 +149,58 @@ class TestTransport:
         simulator.run()
         assert len(bob.received) == 1
 
+    def test_rules_are_consulted_in_order_first_match_wins(self):
+        from repro.sim.network import WITHHOLD, NetworkRule
+
+        class Match(NetworkRule):
+            def __init__(self, name, payload, decision):
+                self.name = name
+                self.payload = payload
+                self.decision = decision
+
+            def decide(self, envelope, *, now):
+                return self.decision if envelope.payload == self.payload else None
+
+        simulator, network, trace = make_network()
+        Recorder(1, frozenset(), simulator, network)
+        bob = Recorder(2, frozenset(), simulator, network)
+        network.add_rule(Match("drop-a", "a", WITHHOLD))
+        network.add_rule(Match("slow-a", "a", 9.0))  # shadowed by drop-a
+        network.add_rule(Match("slow-b", "b", 3.0))
+        network.send(1, 2, "a")
+        network.send(1, 2, "b")
+        network.send(1, 2, "c")
+        simulator.run()
+        assert sorted(env.payload for env in bob.received) == ["b", "c"]
+        assert trace.dropped_by_rule == {"drop-a": 1}
+        assert trace.delayed_by_rule == {"slow-b": 1}
+        assert [rule.name for rule in network.rules] == ["drop-a", "slow-a", "slow-b"]
+
+    def test_rule_withhold_records_the_name_in_the_drop_reason(self):
+        from repro.sim.network import WITHHOLD, NetworkRule
+
+        class DropAll(NetworkRule):
+            name = "blackout"
+
+            def decide(self, envelope, *, now):
+                return WITHHOLD
+
+        simulator, network, trace = make_network()
+        trace.record_messages = True
+        Recorder(1, frozenset(), simulator, network)
+        Recorder(2, frozenset(), simulator, network)
+        network.add_rule(DropAll())
+        network.send(1, 2, "x")
+        simulator.run()
+        assert trace.messages_dropped == 1
+        assert any("withheld by rule 'blackout'" in event for _, event in trace.events)
+
+    def test_legacy_overrides_become_named_rules(self):
+        simulator, network, _ = make_network()
+        network.add_delay_override(lambda envelope: None)
+        network.add_delay_override(lambda envelope: 1.0)
+        assert [rule.name for rule in network.rules] == ["override#0", "override#1"]
+
     def test_is_correct_tracks_faults_and_crashes(self):
         simulator, network, _ = make_network(faulty=frozenset({3}))
         assert not network.is_correct(3)

@@ -112,6 +112,102 @@ class TestMixBuilders:
         assert result.consensus_solved, result.summary()
 
 
+class TestCoreAttachment:
+    def test_sink_placed_byzantine_processes_are_inside(self):
+        from repro.graphs.generators import generate_bft_cup_graph
+        from repro.workloads import core_attached_faulty
+
+        scenario = generate_bft_cup_graph(
+            f=2, non_sink_size=3, byzantine_placement="mixed", seed=1
+        )
+        attached = core_attached_faulty(scenario)
+        # "mixed" placement alternates sink/non_sink: exactly one of the two
+        # Byzantine processes is known by every sink member.
+        assert len(scenario.faulty) == 2
+        assert len(attached) == 1
+
+    def test_figure_byzantine_attachment(self):
+        from repro.graphs.figures import figure_3b
+        from repro.workloads import core_attached_faulty
+
+        # Fig. 3b: processes 5 and 7 are faulty, the safe core is the 3-OSR
+        # clique {1,2,3,4,6}; attachment follows the f+1-knowers rule.
+        scenario = figure_3b()
+        attached = core_attached_faulty(scenario)
+        assert attached <= scenario.faulty
+
+    def test_targeted_mix_through_the_builders(self):
+        from repro.adversary.mix import REST, AdversaryMix, MixEntry
+        from repro.graphs.generators import generate_bft_cup_graph
+        from repro.workloads import core_attached_faulty
+
+        scenario = generate_bft_cup_graph(
+            f=2, non_sink_size=3, byzantine_placement="mixed", seed=1
+        )
+        inside = core_attached_faulty(scenario)
+        mix = AdversaryMix(
+            entries=(
+                MixEntry(behaviour="equivocating_pd", target="inside_core"),
+                MixEntry(behaviour="silent", count=REST),
+            )
+        )
+        config = generated_run_config(
+            scenario, mode=ProtocolMode.BFT_CUP, behaviour=mix, seed=11
+        )
+        equivocator = next(
+            p for p, s in config.faulty.items() if s.behaviour == "equivocating_pd"
+        )
+        assert equivocator in inside
+
+
+class TestScheduleBuilders:
+    def test_scenario_run_config_installs_the_schedule(self):
+        from repro.analysis import run_consensus
+        from repro.experiments import (
+            DelayRule,
+            GraphSpec,
+            NetworkSchedule,
+            Scenario,
+            SynchronySpec,
+        )
+        from repro.workloads import scenario_run_config
+
+        schedule = NetworkSchedule(
+            name="freeze", rules=(DelayRule(t_to=50.0, until=50.5),)
+        )
+        scenario = Scenario(
+            name="s",
+            graph=GraphSpec.figure("fig4b"),
+            schedule=schedule,
+            synchrony=SynchronySpec.partial(gst=50.0, delta=1.0, pre_gst_max_delay=2.0),
+            seed=5,
+            horizon=2_000.0,
+        )
+        config = scenario_run_config(scenario)
+        assert config.schedule is schedule
+        result = run_consensus(config)
+        assert result.consensus_solved, result.summary()
+        # The freeze bites: nothing can be identified before the thaw.
+        assert result.identification_latency() > 50.0
+        # And the trace attributes every delayed message to the named rule.
+        assert result.trace.delayed_by_rule[schedule.rules[0].rule_name] > 0
+
+    def test_contract_violating_scenarios_fail_at_materialisation(self):
+        from repro.adversary.schedule import ScheduleContractError
+        from repro.analysis import run_consensus
+        from repro.experiments import DelayRule, GraphSpec, NetworkSchedule, Scenario
+        from repro.workloads import scenario_run_config
+
+        scenario = Scenario(
+            name="s",
+            graph=GraphSpec.figure("fig4b"),
+            # Withholds correct→correct traffic under partial synchrony.
+            schedule=NetworkSchedule(rules=(DelayRule(),)),
+        )
+        with pytest.raises(ScheduleContractError):
+            run_consensus(scenario_run_config(scenario))
+
+
 class TestModelSubtlety:
     """The DESIGN.md finding: a core strictly inside the safe sink component is fragile.
 
