@@ -1,0 +1,145 @@
+"""Profile one consensus run and gate the graph-analysis share of its time.
+
+Runs a single BFT-CUP execution on a generated extended k-OSR graph under
+``cProfile`` and prints the top functions by internal time.  The script also
+computes which fraction of the run's total internal time was spent in the
+graph-analysis layer (``repro/graphs/`` plus the discovery/locator modules
+of ``repro/core/``): with the incremental sink/core analysis this share must
+stay small, because locators skip unchanged views, reuse witnesses and
+replay memoised sub-searches instead of re-deriving the sink from scratch
+on every discovery message.
+
+``--max-analysis-share`` turns the share into a CI gate: the script exits
+non-zero when graph analysis exceeds the pinned fraction of the run's
+cumulative internal time, which catches regressions that quietly reintroduce
+per-message re-analysis long before they show up as wall-clock drift.
+
+Run exactly what CI runs::
+
+    PYTHONPATH=src python scripts/profile_run.py --max-analysis-share 0.35
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.harness import run_consensus  # noqa: E402
+from repro.core.config import ProtocolMode  # noqa: E402
+from repro.experiments.scenario import GraphSpec, Scenario, SynchronySpec  # noqa: E402
+from repro.workloads.builders import scenario_run_config  # noqa: E402
+
+#: Path fragments that count as "graph analysis" when attributing profile
+#: time: the graph predicates/search algorithms and the view/locator layer
+#: that drives them.
+ANALYSIS_PATH_MARKERS = (
+    "repro/graphs/",
+    "repro/core/discovery.py",
+    "repro/core/locators.py",
+)
+
+
+def profile_run(
+    *, non_sink_size: int, synchrony: str, seed: int
+) -> tuple[pstats.Stats, bool]:
+    """Execute one profiled consensus run; returns the stats and solved flag."""
+    spec = GraphSpec.bft_cup(
+        f=1, non_sink_size=non_sink_size, extra_edge_probability=0.0, seed=7
+    )
+    scenario = Scenario(
+        name=f"profile-{non_sink_size}",
+        graph=spec,
+        mode=ProtocolMode.BFT_CUP,
+        synchrony=(
+            SynchronySpec.synchronous()
+            if synchrony == "synchronous"
+            else SynchronySpec(kind="partial")
+        ),
+        seed=seed,
+    )
+    config = scenario_run_config(scenario)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_consensus(config)
+    profiler.disable()
+    return pstats.Stats(profiler), result.consensus_solved
+
+
+def analysis_share(stats: pstats.Stats) -> tuple[float, float, float]:
+    """Return ``(share, analysis_time, total_time)`` over internal time.
+
+    Internal (per-function ``tottime``) attribution sums to the run's total
+    time exactly once, so the share is well defined; cumulative time would
+    double-count callers and callees.
+    """
+    total = 0.0
+    analysis = 0.0
+    for (filename, _lineno, _name), (_cc, _nc, tottime, _ct, _callers) in stats.stats.items():
+        total += tottime
+        normalised = filename.replace("\\", "/")
+        if any(marker in normalised for marker in ANALYSIS_PATH_MARKERS):
+            analysis += tottime
+    return (analysis / total if total else 0.0), analysis, total
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--non-sink-size",
+        type=int,
+        default=196,
+        help="correct non-sink layer size of the generated graph (n = size + 4)",
+    )
+    parser.add_argument(
+        "--synchrony",
+        choices=("synchronous", "partial"),
+        default="partial",
+        help="synchrony model of the profiled run (default: partial)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="run seed")
+    parser.add_argument(
+        "--top", type=int, default=15, help="number of top functions to print"
+    )
+    parser.add_argument(
+        "--max-analysis-share",
+        type=float,
+        default=None,
+        help=(
+            "fail (exit 1) when the graph-analysis layer exceeds this "
+            "fraction of the run's total internal time"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    stats, solved = profile_run(
+        non_sink_size=args.non_sink_size, synchrony=args.synchrony, seed=args.seed
+    )
+    stats.sort_stats("tottime").print_stats(args.top)
+    share, analysis, total = analysis_share(stats)
+    print(
+        f"graph-analysis share: {share:.1%} "
+        f"({analysis:.3f}s of {total:.3f}s internal time, "
+        f"n={args.non_sink_size + 4}, {args.synchrony}, solved={solved})"
+    )
+    if not solved:
+        print("FAIL: the profiled run did not solve consensus", file=sys.stderr)
+        return 1
+    if args.max_analysis_share is not None and share > args.max_analysis_share:
+        print(
+            f"FAIL: graph analysis used {share:.1%} of the run's internal time "
+            f"(gate: {args.max_analysis_share:.1%}); the incremental analysis "
+            "layer is being bypassed somewhere",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,10 @@ class RunConfig:
     max_events: int = 2_000_000
     #: Restrict which processes call ``propose``; ``None`` means everyone.
     participants: frozenset[ProcessId] | None = None
+    #: Heap-compaction threshold forwarded to the :class:`Simulator`
+    #: (``None`` keeps the engine default).  Purely an engine tuning knob:
+    #: trajectories are identical for every value.
+    compaction_min_queue: int | None = None
 
     def proposal_of(self, process: ProcessId) -> Any:
         return self.proposals.get(process, f"value-of-{process!r}")
@@ -75,6 +79,15 @@ class RunResult:
     virtual_duration: float
     messages_sent: int
     events_processed: int
+    #: Engine diagnostics: heap compactions and the pending-event peak.
+    compactions: int = 0
+    pending_peak: int = 0
+    #: Locator work over the correct consensus nodes: searches actually
+    #: consulted (memo hits + misses, which is deterministic per run,
+    #: unlike the hit/miss split) and locate calls skipped by the
+    #: incremental-analysis gates.
+    sink_searches: int = 0
+    search_skips: int = 0
 
     @property
     def consensus_solved(self) -> bool:
@@ -115,6 +128,11 @@ class RunResult:
             "messages": self.messages_sent,
             "latency": self.latency(),
             "identification_latency": self.identification_latency(),
+            "events": self.events_processed,
+            "compactions": self.compactions,
+            "pending_peak": self.pending_peak,
+            "sink_searches": self.sink_searches,
+            "search_skips": self.search_skips,
         }
 
 
@@ -159,7 +177,11 @@ def build_nodes(
 
 def run_consensus(config: RunConfig) -> RunResult:
     """Simulate one execution and evaluate the consensus properties."""
-    simulator = Simulator(max_time=config.horizon, max_events=config.max_events)
+    simulator = Simulator(
+        max_time=config.horizon,
+        max_events=config.max_events,
+        compaction_min_queue=config.compaction_min_queue,
+    )
     trace = SimulationTrace()
     synchrony = config.synchrony if config.synchrony is not None else PartialSynchronyModel()
     # Independent substreams: the network delay draws and the key material
@@ -192,12 +214,28 @@ def run_consensus(config: RunConfig) -> RunResult:
         if proposer is not None:
             proposer(config.proposal_of(process_id))
 
-    def all_correct_decided() -> bool:
-        return all(
-            getattr(nodes[process_id], "decided", False) for process_id in correct
-        )
+    # The stop predicate runs between every two events, so it must be O(1):
+    # scanning all nodes per event is quadratic at large n.  A node flips
+    # ``decided`` and calls ``trace.on_decision`` in the same event callback
+    # (ConsensusNode._decide), so counting first decisions of correct nodes
+    # as they are recorded observes exactly the same predicate value between
+    # events as scanning ``node.decided`` over every correct node did.
+    undecided_correct = set(correct)
+    record_decision = trace.on_decision
 
-    simulator.run(until=all_correct_decided)
+    def counting_on_decision(process_id: ProcessId, value: Any, time: float) -> None:
+        record_decision(process_id, value, time)
+        undecided_correct.discard(process_id)
+
+    trace.on_decision = counting_on_decision  # type: ignore[method-assign]
+
+    def all_correct_decided() -> bool:
+        return not undecided_correct
+
+    try:
+        simulator.run(until=all_correct_decided)
+    finally:
+        del trace.on_decision  # restore the plain recording method
 
     decisions: dict[ProcessId, Any] = {}
     decision_times: dict[ProcessId, float] = {}
@@ -216,6 +254,14 @@ def run_consensus(config: RunConfig) -> RunResult:
                     node.identified_at if node.identified_at is not None else 0.0
                 )
             estimated[process_id] = node.estimated_fault_threshold
+
+    sink_searches = 0
+    search_skips = 0
+    for process_id in correct:
+        node = nodes[process_id]
+        if isinstance(node, ConsensusNode):
+            sink_searches += node.locator.searches
+            search_skips += node.locator.skips
 
     proposals = {
         process_id: config.proposal_of(process_id) for process_id in config.graph.processes
@@ -245,4 +291,8 @@ def run_consensus(config: RunConfig) -> RunResult:
         virtual_duration=simulator.now,
         messages_sent=trace.messages_sent,
         events_processed=simulator.processed_events,
+        compactions=simulator.compactions,
+        pending_peak=simulator.pending_peak,
+        sink_searches=sink_searches,
+        search_skips=search_skips,
     )

@@ -27,6 +27,46 @@ from repro.graphs.knowledge_graph import ProcessId
 from repro.graphs.predicates import KnowledgeView
 
 
+class AbsorbDelta:
+    """What one :meth:`DiscoveryState.absorb` call changed.
+
+    Truthy exactly when the view changed at all (the historical ``bool``
+    contract of ``absorb``), and additionally reports *what* changed so the
+    locators can decide whether the change can possibly invalidate a search
+    result:
+
+    * ``new_records`` — owners whose PD record was stored for the first time;
+    * ``new_known`` — processes that became known (from new owners or from
+      the PDs of received records, including equivocating duplicates);
+    * ``analysis_changed`` — whether the change is visible to the sink/core
+      predicates.  New known processes that appear in *no stored PD* have no
+      in-edges in the received-PD graph and are invisible to every predicate
+      (P1–P5) and to the candidate enumeration, so a delta consisting only
+      of such processes cannot change any search result.
+    """
+
+    __slots__ = ("new_records", "new_known", "analysis_changed")
+
+    def __init__(
+        self,
+        new_records: frozenset[ProcessId],
+        new_known: frozenset[ProcessId],
+        analysis_changed: bool,
+    ) -> None:
+        self.new_records = new_records
+        self.new_known = new_known
+        self.analysis_changed = analysis_changed
+
+    def __bool__(self) -> bool:
+        return bool(self.new_records or self.new_known)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AbsorbDelta(new_records={set(self.new_records)!r}, "
+            f"new_known={set(self.new_known)!r}, analysis_changed={self.analysis_changed})"
+        )
+
+
 @dataclass
 class DiscoveryState:
     """Local discovery state of one process (Algorithm 1, lines 1 and 4-6)."""
@@ -46,7 +86,20 @@ class DiscoveryState:
     #: Monotonic counter bumped whenever the view grows (used by the node to
     #: avoid re-running the sink/core search when nothing changed).
     version: int = field(init=False, default=0)
+    #: Monotonic counter bumped only when the view changes in a way the
+    #: sink/core predicates can observe: a new PD record, or a newly known
+    #: process that appears in some stored PD.  Known-only growth outside
+    #: every stored PD (nodes mentioned by equivocating duplicates, say) adds
+    #: isolated vertices with no in-edges to the received-PD graph, which no
+    #: predicate and no candidate enumeration can distinguish from absence —
+    #: so the locators skip re-searching while this counter is unchanged.
+    analysis_version: int = field(init=False, default=0)
     rejected_records: int = field(init=False, default=0)
+    #: Union of the PDs of every stored record (the "derivable" processes).
+    #: A known process outside this union is invisible to the predicates.
+    _pd_union: set[ProcessId] = field(init=False, default_factory=set, repr=False)
+    _view_key_cache: tuple | None = field(init=False, default=None, repr=False)
+    _view_key_version: int = field(init=False, default=-1, repr=False)
 
     def __post_init__(self) -> None:
         advertised = (
@@ -57,6 +110,8 @@ class DiscoveryState:
         self.known = set(self.participant_detector) | {self.process_id}
         self.received = {self.process_id}
         self.version = 1
+        self.analysis_version = 1
+        self._pd_union = set(advertised)
 
     # ------------------------------------------------------------------
     # Algorithm 1 transitions
@@ -65,42 +120,58 @@ class DiscoveryState:
         """The ``S_PD`` set to ship in a ``SETPDS`` reply (line 3)."""
         return frozenset(self.records.values())
 
-    def absorb(self, entries: frozenset[SignedMessage]) -> bool:
+    def absorb(self, entries: frozenset[SignedMessage]) -> AbsorbDelta:
         """Merge a received ``SETPDS`` payload (lines 4-6).
 
         Entries whose signature does not verify, whose signer differs from
         the record owner, or whose payload is not a :class:`PdRecord` are
-        discarded (and counted in :attr:`rejected_records`).  Returns
-        ``True`` when the view changed.
+        discarded (and counted in :attr:`rejected_records`).  An entry that
+        *is* the already-stored record of its owner is skipped without
+        re-verifying the signature: verification is deterministic, so the
+        stored copy's earlier acceptance already proves this one valid, and
+        a stored record's PD is already folded into ``known``.
+
+        Returns an :class:`AbsorbDelta`, truthy when the view changed.
         """
-        changed = False
+        new_records: list[ProcessId] = []
+        new_known: list[ProcessId] = []
+        analysis_changed = False
         for entry in entries:
             record = entry.message
             if not isinstance(record, PdRecord):
                 self.rejected_records += 1
                 continue
-            if entry.signer != record.owner:
+            owner = record.owner
+            stored = self.records.get(owner)
+            if stored is not None and (stored is entry or stored == entry):
+                continue
+            if entry.signer != owner:
                 self.rejected_records += 1
                 continue
             if not self.registry.verify(entry):
                 self.rejected_records += 1
                 continue
-            if record.owner not in self.records:
-                self.records[record.owner] = entry
-                changed = True
-            if record.owner not in self.received:
-                self.received.add(record.owner)
-                changed = True
-            if record.owner not in self.known:
-                self.known.add(record.owner)
-                changed = True
-            new_members = set(record.pd) - self.known
-            if new_members:
-                self.known.update(new_members)
-                changed = True
-        if changed:
+            if stored is None:
+                self.records[owner] = entry
+                self.received.add(owner)
+                new_records.append(owner)
+                self._pd_union.update(record.pd)
+                analysis_changed = True
+                if owner not in self.known:
+                    self.known.add(owner)
+                    new_known.append(owner)
+            members = set(record.pd) - self.known
+            if members:
+                self.known.update(members)
+                new_known.extend(members)
+                if not analysis_changed and not members.isdisjoint(self._pd_union):
+                    analysis_changed = True
+        delta = AbsorbDelta(frozenset(new_records), frozenset(new_known), analysis_changed)
+        if delta:
             self.version += 1
-        return changed
+            if analysis_changed:
+                self.analysis_version += 1
+        return delta
 
     # ------------------------------------------------------------------
     # derived views
@@ -111,21 +182,32 @@ class DiscoveryState:
         return KnowledgeView(known=frozenset(self.known), pds=pds)
 
     def view_key(self) -> tuple:
-        """Hashable identity of the current view content.
+        """Hashable identity of the analysis-visible view content.
 
         Two discovery states with equal ``view_key()`` produce equal
-        :meth:`view` results, so the key indexes the process-local
+        sink/core search results, so the key indexes the process-local
         sink-search memo of :mod:`repro.core.locators`: different nodes of
         the same simulation (or of different runs in the same worker
         process) whose views converged share one search instead of each
         re-running it.
+
+        The ``known`` component is restricted to the processes appearing in
+        some stored PD (plus the record owners, which are always known):
+        known processes outside every stored PD are invisible to the
+        predicates (no in-edges, never in a candidate or a derived ``S2``),
+        so including them would only fragment the memo.  The key is cached
+        per :attr:`analysis_version` — invisible deltas reuse it as-is.
         """
-        return (
-            frozenset(self.known),
-            frozenset(
-                (owner, frozenset(entry.message.pd)) for owner, entry in self.records.items()
-            ),
-        )
+        if self._view_key_version != self.analysis_version:
+            self._view_key_cache = (
+                frozenset(self.known & self._pd_union),
+                frozenset(
+                    (owner, frozenset(entry.message.pd)) for owner, entry in self.records.items()
+                ),
+            )
+            self._view_key_version = self.analysis_version
+        assert self._view_key_cache is not None
+        return self._view_key_cache
 
     def pd_of(self, process: ProcessId) -> frozenset[ProcessId] | None:
         """The (claimed) participant detector received from ``process``, if any."""

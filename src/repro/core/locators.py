@@ -1,8 +1,9 @@
 """Sink and Core locators: Algorithms 2 and 4 as incremental searches.
 
 Both algorithms are "wait until the current knowledge view contains a
-witness" loops; the locators below encapsulate the witness search plus a
-version cache so the search only re-runs when the discovery state changed.
+witness" loops; the locators below encapsulate the witness search plus an
+incremental-delta cache so the search only re-runs when the discovery state
+changed *in a way the predicates can observe*:
 
 * :class:`SinkLocator` -- Algorithm 2: requires the fault threshold ``f``
   and returns the sink ``S1 ∪ S2`` once ``isSinkGdi(f, S1, S2)`` holds.
@@ -11,23 +12,39 @@ version cache so the search only re-runs when the discovery state changed.
   subset (Theorem 8, as clarified in DESIGN.md), together with the implied
   fault-threshold estimate ``f_Gdi``.
 
-On top of the per-locator version cache sits a *process-local* memo keyed
-by the exact view content (:meth:`DiscoveryState.view_key`): in a run, all
-correct nodes converge towards the same received-PD view, so most searches
-are exact repeats of a search some other node already ran.  The memo turns
-those repeats into dictionary hits — across nodes of one simulation and
-across the runs a sweep worker executes — without changing any result (the
-searches are pure functions of the view, the threshold and the options).
+Three layers make the locators cheap on large graphs:
+
+1. **Witness pinning** — once found, a witness is returned forever without
+   looking at the view again (the algorithms return at the first witness).
+2. **Delta gating** — :meth:`DiscoveryState.absorb` classifies each change;
+   a delta that only adds known processes outside every stored PD cannot
+   change any search result (such processes have no in-edges in the
+   received-PD graph), so the locators skip the search entirely while
+   ``discovery.analysis_version`` is unchanged.  The sink locator further
+   skips while fewer than ``2f + 1`` PDs were received: property P1 needs
+   ``|S1| >= 2f + 1`` and every candidate ``S1`` is drawn from the received
+   processes, so no witness can exist yet.
+3. **Process-local memoisation** — searches that do run are answered from
+   the process-local :class:`~repro.graphs.search_memo.SinkSearchMemo`
+   keyed by the exact view content (:meth:`DiscoveryState.view_key`): in a
+   run, all correct nodes converge towards the same received-PD view, so
+   most searches are exact repeats of a search some other node already ran.
+   The same store memoises the sub-searches (connectivity checks, SCC
+   seeding, subsink scans) of the searches that do miss.
+
+None of the layers changes any result: the searches are pure functions of
+the view, the threshold and the options, and every skip is backed by the
+invisibility argument above.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.core.discovery import DiscoveryState
 from repro.graphs.knowledge_graph import ProcessId
 from repro.graphs.predicates import SinkWitness
+from repro.graphs.search_memo import _PROCESS_MEMO, SinkSearchMemo, sink_search_memo
 from repro.graphs.sink_search import (
     CoreWitness,
     SearchOptions,
@@ -36,87 +53,44 @@ from repro.graphs.sink_search import (
 )
 
 
-class SinkSearchMemo:
-    """Bounded process-local memo of sink/core search results.
-
-    Keys embed the full view content, so a hit is always an exact repeat of
-    a previous search (including ``None`` results for views that do not yet
-    admit a witness — by far the most frequent case while discovery is
-    converging).  Eviction is FIFO: view keys are reached through a
-    monotonically growing discovery state, so old views never come back.
-    """
-
-    def __init__(self, max_entries: int = 4096) -> None:
-        if max_entries < 1:
-            raise ValueError("max_entries must be at least 1")
-        self.max_entries = max_entries
-        self._entries: dict[tuple, Any] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    _MISS = object()
-
-    def lookup(self, key: tuple) -> Any:
-        """Return the cached result or :data:`SinkSearchMemo._MISS`."""
-        result = self._entries.get(key, self._MISS)
-        if result is self._MISS:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return result
-
-    def store(self, key: tuple, value: Any) -> None:
-        while len(self._entries) >= self.max_entries:
-            self._entries.pop(next(iter(self._entries)))
-            self.evictions += 1
-        self._entries[key] = value
-
-    def clear(self) -> None:
-        self._entries.clear()
-
-    def stats(self) -> dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
-
-
-#: The process-local memo shared by every locator in this process.
-_PROCESS_MEMO = SinkSearchMemo()
-
-
-def sink_search_memo() -> SinkSearchMemo:
-    """The process-local search memo (exposed for stats and tests)."""
-    return _PROCESS_MEMO
-
-
 @dataclass
 class SinkLocator:
     """The Sink algorithm (Algorithm 2): locate the sink given ``f``."""
 
     fault_threshold: int
     options: SearchOptions = field(default_factory=SearchOptions)
-    _last_version: int = field(init=False, default=-1)
+    _last_analysis_version: int = field(init=False, default=-1)
     _witness: SinkWitness | None = field(init=False, default=None)
+    #: Searches actually executed (memo misses).
     attempts: int = field(init=False, default=0)
+    #: Searches answered by the process-local memo.
     memo_hits: int = field(init=False, default=0)
+    #: Search consults (``attempts + memo_hits``): deterministic per run,
+    #: unlike the attempts/hits split which depends on what the worker
+    #: process computed earlier.
+    searches: int = field(init=False, default=0)
+    #: Locate calls short-circuited without consulting the memo (unchanged
+    #: analysis version, too few received PDs, or a pinned witness).
+    skips: int = field(init=False, default=0)
 
     def locate(self, discovery: DiscoveryState) -> SinkWitness | None:
         """Return the sink witness if the current view admits one.
 
-        The result is cached per discovery-state version (calling this on
-        every message is cheap when nothing changed) and, across locators,
-        in the process-local view-keyed memo: a view some other node already
-        searched is answered without re-running the search.
+        Skips the search when the view did not change visibly since the
+        last call, when fewer than ``2f + 1`` PDs were received (P1 makes a
+        witness impossible), or when a witness was already found.
         """
         if self._witness is not None:
+            self.skips += 1
             return self._witness
-        if discovery.version == self._last_version:
+        if discovery.analysis_version == self._last_analysis_version:
+            self.skips += 1
             return None
-        self._last_version = discovery.version
+        self._last_analysis_version = discovery.analysis_version
+        if len(discovery.records) < 2 * self.fault_threshold + 1:
+            self.skips += 1
+            return None
+        self.searches += 1
         key = ("sink", self.fault_threshold, self.options, discovery.view_key())
         cached = _PROCESS_MEMO.lookup(key)
         if cached is not SinkSearchMemo._MISS:
@@ -148,18 +122,23 @@ class CoreLocator:
     """The Core algorithm (Algorithm 4): locate the core without knowing ``f``."""
 
     options: SearchOptions = field(default_factory=SearchOptions)
-    _last_version: int = field(init=False, default=-1)
+    _last_analysis_version: int = field(init=False, default=-1)
     _core: CoreWitness | None = field(init=False, default=None)
     attempts: int = field(init=False, default=0)
     memo_hits: int = field(init=False, default=0)
+    searches: int = field(init=False, default=0)
+    skips: int = field(init=False, default=0)
 
     def locate(self, discovery: DiscoveryState) -> CoreWitness | None:
         """Return the core witness if the current view admits one."""
         if self._core is not None:
+            self.skips += 1
             return self._core
-        if discovery.version == self._last_version:
+        if discovery.analysis_version == self._last_analysis_version:
+            self.skips += 1
             return None
-        self._last_version = discovery.version
+        self._last_analysis_version = discovery.analysis_version
+        self.searches += 1
         key = ("core", self.options, discovery.view_key())
         cached = _PROCESS_MEMO.lookup(key)
         if cached is not SinkSearchMemo._MISS:
@@ -182,3 +161,11 @@ class CoreLocator:
     def estimated_fault_threshold(self) -> int | None:
         """The fault-threshold estimate ``f_Gdi(core)`` once located."""
         return None if self._core is None else self._core.estimated_f
+
+
+__all__ = [
+    "SinkLocator",
+    "CoreLocator",
+    "SinkSearchMemo",
+    "sink_search_memo",
+]

@@ -22,7 +22,7 @@ from repro.crypto.signatures import SignedMessage
 from repro.graphs.knowledge_graph import ProcessId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PdRecord:
     """The signed content ``⟨owner, PD_owner⟩``: a process and its participant detector."""
 
@@ -30,24 +30,24 @@ class PdRecord:
     pd: frozenset[ProcessId]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetPds:
     """Request the receiver's collected participant detectors (``GETPDS``)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SetPds:
     """Reply carrying signed participant-detector records (``SETPDS``)."""
 
     entries: frozenset[SignedMessage]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GetDecidedValue:
     """Ask a sink/core member for the decided value (``GETDECIDEDVAL``)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecidedValue:
     """Reply carrying the decided value (``DECIDEDVAL``)."""
 

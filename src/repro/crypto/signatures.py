@@ -56,7 +56,7 @@ def _canonical(message: Any) -> bytes:
     return b"r:" + repr(message).encode()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignedMessage:
     """A message together with the identity of its signer and the tag."""
 

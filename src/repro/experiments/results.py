@@ -168,6 +168,7 @@ class SuiteResult:
         resumed: int = 0,
         skipped: Sequence[str] = (),
         cache_stats: dict[str, int] | None = None,
+        memo_stats: dict[str, Any] | None = None,
     ) -> None:
         self.outcomes = outcomes
         self.wall_time = wall_time
@@ -180,6 +181,13 @@ class SuiteResult:
         #: terminated pool) — recorded instead of silently truncating.
         self.skipped = tuple(skipped)
         self.cache_stats = cache_stats
+        #: Coordinator-process snapshot of the sink-search memo
+        #: (:func:`repro.graphs.search_memo.sink_search_memo`), taken after
+        #: the suite ran.  Meaningful for the serial backend, where every
+        #: search goes through the coordinator's memo; with multiprocess
+        #: backends the workers' memos are not aggregated, so the snapshot
+        #: only reflects coordinator-side work.
+        self.memo_stats = memo_stats
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -235,6 +243,7 @@ class SuiteResult:
             "resumed": self.resumed,
             "skipped": list(self.skipped),
             "cache": self.cache_stats,
+            "sink_search_memo": self.memo_stats,
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
         }
         if group_by is not None:

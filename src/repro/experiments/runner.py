@@ -38,6 +38,7 @@ from repro.experiments.backends.store import OutcomeStore
 from repro.experiments.cache import GraphAnalysisCache
 from repro.experiments.results import ScenarioOutcome, SuiteResult
 from repro.experiments.scenario import Scenario
+from repro.graphs.search_memo import sink_search_memo
 
 #: Progress callbacks receive (completed, total, outcome).
 ProgressCallback = Callable[[int, int, ScenarioOutcome], None]
@@ -203,6 +204,7 @@ class SuiteRunner:
             resumed=resumed,
             skipped=skipped,
             cache_stats=self.graph_cache.stats() if self.graph_cache is not None else None,
+            memo_stats=sink_search_memo().stats(),
         )
 
     # ------------------------------------------------------------------

@@ -117,9 +117,13 @@ def generate_bft_cup_graph(
         targets = rng.sample(sink_members, min(f + 1, len(sink_members)))
         for target in targets:
             graph.add_edge(member, target)
-        for earlier in non_sink_members[:position]:
-            if rng.random() < extra_edge_probability:
-                graph.add_edge(member, earlier)
+        # With probability 0 no extra edge can appear, so the draws are
+        # skipped entirely; this keeps large sparse graphs O(n) to generate
+        # (the draw loop is quadratic in the non-sink layer size).
+        if extra_edge_probability > 0.0:
+            for earlier in non_sink_members[:position]:
+                if rng.random() < extra_edge_probability:
+                    graph.add_edge(member, earlier)
 
     # Byzantine processes.
     placements: list[str] = []
@@ -218,9 +222,12 @@ def generate_bft_cupft_graph(
         targets = rng.sample(core_members, min(f + 1, len(core_members)))
         for target in targets:
             graph.add_edge(member, target)
-        for earlier in non_core_members[:position]:
-            if rng.random() < extra_edge_probability:
-                graph.add_edge(member, earlier)
+        # Same O(n) fast path as in generate_bft_cup_graph: zero probability
+        # means zero extra edges, so the quadratic draw loop is skipped.
+        if extra_edge_probability > 0.0:
+            for earlier in non_core_members[:position]:
+                if rng.random() < extra_edge_probability:
+                    graph.add_edge(member, earlier)
 
     placements: list[str] = []
     for index in range(byzantine_count):

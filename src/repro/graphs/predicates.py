@@ -47,6 +47,7 @@ from itertools import combinations
 
 from repro.graphs.connectivity import is_k_strongly_connected
 from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
+from repro.graphs.search_memo import SinkSearchMemo, sink_search_memo
 
 PdView = Mapping[ProcessId, frozenset[ProcessId]]
 
@@ -129,8 +130,17 @@ def derived_s2(
         for target in view.pds.get(member, frozenset()):
             if target not in s1:
                 counts[target] = counts.get(target, 0) + 1
+    if f < 0:
+        # Every known process outside S1 trivially has more than f
+        # in-neighbours, including those with zero counted edges, so the
+        # full difference is needed here (and only here).
+        return frozenset(node for node in view.known - s1 if counts.get(node, 0) > f)
+    # For f >= 0 only counted processes can qualify, so iterating the count
+    # table keeps this O(edges out of S1) instead of O(|known|) — the
+    # difference between linear and quadratic total work when a large view
+    # is scanned over ~n candidate sets.
     return frozenset(
-        node for node in view.known - s1 if counts.get(node, 0) > f
+        node for node, count in counts.items() if count > f and node in view.known
     )
 
 
@@ -180,20 +190,37 @@ def is_sink_gdi(
     # P4 (cheap, check before the expensive connectivity test)
     if s2_set != derived_s2(view, f, s1_set):
         return False
-    # P3
-    if strict_p3:
-        outside = view.known - s1_set
-    else:
-        outside = view.known - s1_set - s2_set
+    # P3.  Tested per PD entry rather than against a materialised
+    # ``known \ (S1 ∪ S2)`` set: building that difference is O(|known|) per
+    # call, which dominates everything else when a large view is probed for
+    # ~n candidate sets.  A member escapes when any of its PD entries is a
+    # known process outside S1 (and outside S2 in the non-strict reading).
+    known = view.known
     escapers = 0
     for member in s1_set:
-        if view.pds.get(member, frozenset()) & outside:
+        for target in view.pds.get(member, frozenset()):
+            if target in s1_set or target not in known:
+                continue
+            if not strict_p3 and target in s2_set:
+                continue
             escapers += 1
+            break
     if escapers > f:
         return False
-    # P2
-    induced = view.induced_graph(s1_set)
-    return is_k_strongly_connected(induced, f + 1)
+    # P2 -- the expensive check (max-flow based), so it runs last and its
+    # result is memoised.  The induced subgraph is fully determined by the
+    # members of S1 and their PDs restricted to S1, so the content key below
+    # makes every memo hit an exact replay of a previous check: different
+    # views (or the same view at different times) that agree on S1's
+    # restricted PDs share one connectivity computation.
+    key = ("conn", f + 1, frozenset((member, view.pds[member] & s1_set) for member in s1_set))
+    memo = sink_search_memo()
+    cached = memo.lookup(key)
+    if cached is not SinkSearchMemo._MISS:
+        return cached
+    result = is_k_strongly_connected(view.induced_graph(s1_set), f + 1)
+    memo.store(key, result)
+    return result
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,100 @@
+"""The process-local sink-search memo, shared across search granularities.
+
+PR 5 introduced a memo that dedupes *whole* sink/core searches across
+discovery states with identical view content.  This module generalises it:
+the same bounded store now also memoises the expensive *sub-searches* that a
+full search is composed of —
+
+* the SCC / sink-component seeding of the candidate enumeration
+  (:mod:`repro.graphs.sink_search`),
+* the ``(f+1)``-strong-connectivity checks of ``isSinkGdi``
+  (:mod:`repro.graphs.predicates`), and
+* the stronger-proper-subsink scans of the core search —
+
+keyed by the *content* of exactly the inputs each sub-search depends on
+(the candidate set and the PDs restricted to it), never by object identity
+or by the full view.  Content keys make every hit an exact replay of a
+previous computation, so memoisation can never change a result — only skip
+recomputing it.
+
+The memo lives here (in the dependency-free ``graphs`` layer) so both the
+predicate/search modules and :mod:`repro.core.locators` can share one store
+without an import cycle; the locators module re-exports the public names
+for backwards compatibility.
+
+Every key is a tuple whose first element names the search kind (``"sink"``,
+``"core"``, ``"scc"``, ``"conn"``, ``"subsink"``); :meth:`SinkSearchMemo.stats`
+breaks hits and misses down by kind so benchmarks can report where the
+reuse actually happens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+
+class SinkSearchMemo:
+    """Bounded process-local memo of sink/core search (and sub-search) results.
+
+    Keys embed the full content the memoised computation depends on, so a
+    hit is always an exact repeat of a previous computation (including
+    ``None``/negative results — by far the most frequent case while
+    discovery is converging).  Eviction is FIFO: keys are reached through
+    monotonically growing discovery states, so old views never come back.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: dict[tuple, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.hits_by_kind: Counter = Counter()
+        self.misses_by_kind: Counter = Counter()
+
+    _MISS = object()
+
+    def lookup(self, key: tuple) -> Any:
+        """Return the cached result or :data:`SinkSearchMemo._MISS`."""
+        result = self._entries.get(key, self._MISS)
+        if result is self._MISS:
+            self.misses += 1
+            self.misses_by_kind[key[0]] += 1
+        else:
+            self.hits += 1
+            self.hits_by_kind[key[0]] += 1
+        return result
+
+    def store(self, key: tuple, value: Any) -> None:
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hits_by_kind": dict(self.hits_by_kind),
+            "misses_by_kind": dict(self.misses_by_kind),
+        }
+
+
+#: The process-local memo shared by every locator and sub-search in this process.
+_PROCESS_MEMO = SinkSearchMemo()
+
+
+def sink_search_memo() -> SinkSearchMemo:
+    """The process-local search memo (exposed for stats and tests)."""
+    return _PROCESS_MEMO
+
+
+__all__ = ["SinkSearchMemo", "sink_search_memo"]

@@ -32,6 +32,7 @@ from repro.graphs.predicates import (
     is_sink_gdi,
     sink_star_witness,
 )
+from repro.graphs.search_memo import SinkSearchMemo, sink_search_memo
 
 #: Views with at most this many received processes are searched exhaustively.
 DEFAULT_EXHAUSTIVE_LIMIT = 12
@@ -71,9 +72,22 @@ def _candidate_s1_sets(view: KnowledgeView, options: SearchOptions) -> Iterator[
             seen.add(candidate)
             yield candidate
 
-    received_graph = _received_graph(view)
-    components = strongly_connected_components(received_graph)
-    sinks = sink_components(received_graph)
+    # The SCC decomposition only depends on the received processes and their
+    # PDs restricted to them, so it is memoised by content: converging views
+    # re-derive identical received graphs over and over, and the component
+    # algorithms are deterministic (sorted successor/root order), so a hit
+    # replays the exact components (including their order).
+    received = view.received
+    memo = sink_search_memo()
+    scc_key = ("scc", frozenset((node, pd & received) for node, pd in view.pds.items()))
+    cached = memo.lookup(scc_key)
+    if cached is not SinkSearchMemo._MISS:
+        components, sinks = cached
+    else:
+        received_graph = _received_graph(view)
+        components = tuple(strongly_connected_components(received_graph))
+        sinks = tuple(sink_components(received_graph))
+        memo.store(scc_key, (components, sinks))
 
     # 1. Sink SCCs of the received graph and their unions with components
     #    that are "absorbed" by them (every outgoing edge points into them).
@@ -185,8 +199,38 @@ def has_stronger_subsink(
     """
     options = options or SearchOptions()
     member_set = frozenset(members)
-    minimum_size = max(1, 2 * connectivity - 1)
     subview = view.subview(member_set)
+    # The scan is a pure function of the member set, the restricted view
+    # content and the options; every predicate below only reads the PDs
+    # intersected with the member set, so restricting the PDs in the key
+    # maximises sharing without changing any result.  The core locator
+    # re-runs this scan on every view change until the core is found, and
+    # typically only the PDs *outside* the tentative core changed -- making
+    # this the single most profitable memoisation point of the core path.
+    memo = sink_search_memo()
+    key = (
+        "subsink",
+        connectivity,
+        options,
+        member_set,
+        frozenset(subview.known),
+        frozenset((node, pd & member_set) for node, pd in subview.pds.items()),
+    )
+    cached = memo.lookup(key)
+    if cached is not SinkSearchMemo._MISS:
+        return cached
+    result = _has_stronger_subsink_scan(subview, member_set, connectivity, options)
+    memo.store(key, result)
+    return result
+
+
+def _has_stronger_subsink_scan(
+    subview: KnowledgeView,
+    member_set: frozenset[ProcessId],
+    connectivity: int,
+    options: SearchOptions,
+) -> bool:
+    minimum_size = max(1, 2 * connectivity - 1)
     ordered = sorted(member_set, key=repr)
     examined = 0
     for size in range(len(member_set) - 1, minimum_size - 1, -1):

@@ -16,7 +16,7 @@ from repro.crypto.signatures import SignedMessage
 from repro.graphs.knowledge_graph import ProcessId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupKey:
     """Identity of one inner-consensus instance.
 
@@ -37,7 +37,7 @@ class GroupKey:
         return len(self.members)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrePrepare:
     """Leader proposal for a view.  ``signed`` covers ``(group, view, value)``."""
 
@@ -47,7 +47,7 @@ class PrePrepare:
     signed: SignedMessage
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """A replica's vote for the leader's proposal in a view."""
 
@@ -58,7 +58,7 @@ class Prepare:
     signed: SignedMessage
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Commit:
     """A replica's commit vote after collecting a prepare quorum."""
 
@@ -68,7 +68,7 @@ class Commit:
     voter: ProcessId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PreparedCertificate:
     """Proof that a value gathered a prepare quorum in some view."""
 
@@ -78,7 +78,7 @@ class PreparedCertificate:
     prepares: frozenset[SignedMessage]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewChange:
     """Vote to move to ``new_view``, carrying the sender's prepared certificate (if any)."""
 
@@ -88,7 +88,7 @@ class ViewChange:
     prepared: PreparedCertificate | None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewView:
     """Announcement by the leader of ``view`` that it is taking over.
 

@@ -6,31 +6,73 @@ monotonically increasing sequence number so execution is fully
 deterministic.  The engine knows nothing about processes or networks -- it
 only runs callbacks in time order -- which keeps it reusable for the
 protocol stack, the PBFT substrate and the baselines alike.
+
+Two representations share the heap, both stored as ``(time, sequence,
+item)`` tuples so comparisons never touch the payload:
+
+* :class:`_ScheduledEvent` -- one callback, the general case;
+* :class:`_EventBatch` -- many payloads delivered through one shared
+  callable at one instant (same-tick network deliveries).  A batch occupies
+  a single heap entry no matter how many payloads it carries, which is the
+  engine-side half of scaling broadcast-heavy runs to large graphs: a
+  10k-node broadcast is one heap push instead of 10k.
+
+Batches preserve execution order *exactly*.  A payload may only be appended
+to a batch while the batch's *fence* holds -- no event has been scheduled
+since the batch was created -- which guarantees no other event can exist at
+the batch's instant with a later sequence number, so the appended payload
+runs precisely where a per-payload event would have.  :meth:`Simulator.step`
+still executes one payload per call, so stop-predicates, event budgets and
+the processed-event count behave identically to the unbatched engine.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from typing import Any
 
 
 class SimulationLimitExceeded(RuntimeError):
     """Raised when a run exceeds its configured time or event budget."""
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Set once the event has been popped from the queue (executed or
-    #: discarded), so late ``cancel()`` calls do not skew the counter of
-    #: cancelled-but-still-queued events.
-    done: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    """A single scheduled callback (heap payload; ordering lives in the tuple)."""
+
+    __slots__ = ("time", "callback", "cancelled", "done", "label")
+
+    def __init__(self, time: float, callback: Callable[[], None], label: str = "") -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        #: Set once the event has been popped from the queue (executed or
+        #: discarded), so late ``cancel()`` calls do not skew the counter of
+        #: cancelled-but-still-queued events.
+        self.done = False
+        self.label = label
+
+
+class _EventBatch:
+    """Many same-instant payloads behind one heap entry.
+
+    ``fn`` is invoked once per payload, one payload per :meth:`Simulator.step`
+    call.  ``fence`` snapshots the simulator's sequence counter at creation:
+    appends are only legal while the counter is unchanged (see module
+    docstring), and ``closed`` is set once the last payload ran so a batch
+    that left the queue can never silently swallow a new payload.
+    """
+
+    __slots__ = ("time", "fn", "items", "next_index", "fence", "closed", "label")
+
+    def __init__(self, time: float, fn: Callable[[Any], None], first_item: Any, fence: int, label: str = "") -> None:
+        self.time = time
+        self.fn = fn
+        self.items = [first_item]
+        self.next_index = 0
+        self.fence = fence
+        self.closed = False
+        self.label = label
 
 
 class EventHandle:
@@ -74,22 +116,41 @@ class Simulator:
     max_events:
         Hard limit on the number of processed events (guards against
         livelock in buggy protocols or adversarial schedules).
+    compaction_min_queue:
+        Queues shorter than this are never compacted (rebuilding a tiny
+        heap costs more than carrying its dead entries).  Defaults to
+        :data:`Simulator.COMPACTION_MIN_QUEUE`; large-n runs that cancel
+        many timers may prefer a larger value to compact less often.  The
+        setting only trades memory against heap traffic -- trajectories are
+        identical for every value, which ``tests/sim/test_engine.py``
+        pins.
     """
 
-    #: Queues shorter than this are never compacted: rebuilding a tiny heap
-    #: costs more than carrying its dead entries.
+    #: Default for ``compaction_min_queue``.
     COMPACTION_MIN_QUEUE = 64
 
-    def __init__(self, max_time: float = 1_000_000.0, max_events: int = 5_000_000) -> None:
+    def __init__(
+        self,
+        max_time: float = 1_000_000.0,
+        max_events: int = 5_000_000,
+        compaction_min_queue: int | None = None,
+    ) -> None:
         self.max_time = max_time
         self.max_events = max_events
-        self._queue: list[_ScheduledEvent] = []
-        self._sequence = itertools.count()
+        self.compaction_min_queue = (
+            self.COMPACTION_MIN_QUEUE if compaction_min_queue is None else compaction_min_queue
+        )
+        self._queue: list[tuple[float, int, _ScheduledEvent | _EventBatch]] = []
+        self._sequence = 0
         self._now = 0.0
         self._processed_events = 0
         self._stopped = False
         self._cancelled_in_queue = 0
         self._compactions = 0
+        self._queued_batches = 0
+        self._pending_batch_items = 0
+        self._active_batch: _EventBatch | None = None
+        self._pending_peak = 0
 
     # ------------------------------------------------------------------
     # clock and scheduling
@@ -101,8 +162,13 @@ class Simulator:
 
     @property
     def processed_events(self) -> int:
-        """Number of events executed so far."""
+        """Number of events executed so far (batch payloads count one each)."""
         return self._processed_events
+
+    @property
+    def pending_peak(self) -> int:
+        """High-water mark of :meth:`pending_events` over the run."""
+        return self._pending_peak
 
     def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> EventHandle:
         """Schedule ``callback`` to run ``delay`` time units from now."""
@@ -114,9 +180,54 @@ class Simulator:
         """Schedule ``callback`` to run at absolute virtual time ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
-        event = _ScheduledEvent(time=time, sequence=next(self._sequence), callback=callback, label=label)
-        heapq.heappush(self._queue, event)
+        event = _ScheduledEvent(time, callback, label)
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, event))
+        pending = self.pending_events()
+        if pending > self._pending_peak:
+            self._pending_peak = pending
         return EventHandle(event, self)
+
+    def schedule_batch_at(
+        self, time: float, fn: Callable[[Any], None], first_item: Any, label: str = ""
+    ) -> _EventBatch:
+        """Open a new batch at ``time`` seeded with ``first_item``.
+
+        Further payloads join via :meth:`try_append_to_batch` while the
+        batch's fence holds.  Batches cannot be cancelled (network
+        deliveries never are).
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        self._sequence += 1
+        batch = _EventBatch(time, fn, first_item, fence=self._sequence, label=label)
+        heapq.heappush(self._queue, (time, self._sequence, batch))
+        self._queued_batches += 1
+        self._pending_batch_items += 1
+        pending = self.pending_events()
+        if pending > self._pending_peak:
+            self._pending_peak = pending
+        return batch
+
+    def try_append_to_batch(self, batch: _EventBatch, item: Any) -> bool:
+        """Append ``item`` to ``batch`` iff execution order is provably preserved.
+
+        Succeeds only while nothing has been scheduled since the batch was
+        created (``fence`` intact) and the batch has not finished draining.
+        Under the fence no event can exist at the batch's instant with a
+        later sequence number, so the appended payload runs exactly where a
+        freshly scheduled per-payload event would have run.  Appends do not
+        advance the sequence counter -- they create no heap entry -- so a
+        run of same-instant deliveries keeps one fence alive.
+        """
+        if batch.closed or batch.fence != self._sequence:
+            return False
+        batch.items.append(item)
+        self._pending_batch_items += 1
+        pending = self.pending_events()
+        if pending > self._pending_peak:
+            self._pending_peak = pending
+        return True
 
     def stop(self) -> None:
         """Stop the run after the current event finishes."""
@@ -137,13 +248,17 @@ class Simulator:
         """
         self._cancelled_in_queue += 1
         if (
-            len(self._queue) >= self.COMPACTION_MIN_QUEUE
+            len(self._queue) >= self.compaction_min_queue
             and 2 * self._cancelled_in_queue >= len(self._queue)
         ):
-            for event in self._queue:
-                if event.cancelled:
-                    event.done = True
-            self._queue = [event for event in self._queue if not event.cancelled]
+            for _, _, item in self._queue:
+                if type(item) is _ScheduledEvent and item.cancelled:
+                    item.done = True
+            self._queue = [
+                entry
+                for entry in self._queue
+                if type(entry[2]) is _EventBatch or not entry[2].cancelled
+            ]
             heapq.heapify(self._queue)
             self._cancelled_in_queue = 0
             self._compactions += 1
@@ -157,22 +272,58 @@ class Simulator:
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Run the next pending event.  Returns ``False`` when none is left."""
+        """Run the next pending event.  Returns ``False`` when none is left.
+
+        One batch payload counts as one event: an active batch is drained
+        across as many ``step()`` calls as it has payloads, so callers that
+        interleave checks between events (stop predicates, budgets) observe
+        the exact behaviour of the unbatched engine.
+        """
+        batch = self._active_batch
+        if batch is not None:
+            return self._step_batch_item(batch)
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                event.done = True
+            time, _, item = heapq.heappop(self._queue)
+            if type(item) is _EventBatch:
+                self._queued_batches -= 1
+                self._active_batch = item
+                return self._step_batch_item(item)
+            if item.cancelled:
+                item.done = True
                 self._cancelled_in_queue -= 1
                 continue
-            if event.time > self.max_time:
-                event.done = True
+            if time > self.max_time:
+                item.done = True
                 return False
-            event.done = True
-            self._now = event.time
+            item.done = True
+            self._now = time
             self._processed_events += 1
-            event.callback()
+            item.callback()
             return True
         return False
+
+    def _step_batch_item(self, batch: _EventBatch) -> bool:
+        if batch.time > self.max_time:
+            # Mirror the unbatched engine: each step discards exactly one
+            # overdue delivery and reports the horizon.
+            batch.next_index += 1
+            self._pending_batch_items -= 1
+            if batch.next_index >= len(batch.items):
+                batch.closed = True
+                self._active_batch = None
+            return False
+        item = batch.items[batch.next_index]
+        batch.next_index += 1
+        self._pending_batch_items -= 1
+        self._now = batch.time
+        self._processed_events += 1
+        batch.fn(item)
+        # Checked after fn(): a handler may legally append to this batch
+        # while the fence still holds, re-opening the tail.
+        if batch.next_index >= len(batch.items):
+            batch.closed = True
+            self._active_batch = None
+        return True
 
     def run(
         self,
@@ -212,6 +363,12 @@ class Simulator:
         """Number of live (non-cancelled) events still queued.
 
         O(1): the queue tracks how many of its entries are cancelled
-        placeholders awaiting compaction.
+        placeholders awaiting compaction, and how many payloads its batch
+        entries (plus the batch currently draining) still carry.
         """
-        return len(self._queue) - self._cancelled_in_queue
+        return (
+            len(self._queue)
+            - self._cancelled_in_queue
+            - self._queued_batches
+            + self._pending_batch_items
+        )

@@ -16,7 +16,7 @@ from typing import Any
 from repro.graphs.knowledge_graph import ProcessId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A message in flight between two processes."""
 

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.graphs.knowledge_graph import ProcessId
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, _EventBatch
 from repro.sim.messages import Envelope, payload_kind
 from repro.sim.tracing import SimulationTrace
 
@@ -202,6 +202,13 @@ class Network:
         self._processes: dict[ProcessId, "Process"] = {}
         self._crashed: set[ProcessId] = set()
         self._rules: list[NetworkRule] = []
+        #: The most recently created delivery batch.  Same-instant
+        #: deliveries (broadcast fan-out, pre-GST clamping to
+        #: ``GST + delta``, constant-delay schedule rules) share one heap
+        #: entry as long as the engine can prove order preservation (see
+        #: :meth:`Simulator.try_append_to_batch`); older batches can never
+        #: accept appends again, so one slot suffices.
+        self._last_batch: _EventBatch | None = None
 
     # ------------------------------------------------------------------
     # membership
@@ -311,14 +318,43 @@ class Network:
             delay = float(decision)
             self.trace.on_rule_delay(envelope, matched.name, delay)
 
-        def deliver() -> None:
-            if receiver in self._crashed:
-                self.trace.on_drop(envelope, "receiver crashed")
-                return
-            self.trace.on_deliver(envelope)
-            self._processes[receiver].receive(envelope)
+        self._schedule_delivery(envelope, delay)
 
-        self.simulator.schedule(delay, deliver, label=f"deliver {envelope.describe()}")
+    def _schedule_delivery(self, envelope: Envelope, delay: float) -> None:
+        """Queue ``envelope`` for delivery ``delay`` from now, batching same-tick sends.
+
+        The envelope joins the open batch for its delivery instant when the
+        engine can prove the batched order matches per-message scheduling;
+        otherwise it opens a new batch (one heap entry either way).  The
+        crashed-receiver check stays at delivery time, exactly as before.
+        """
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        simulator = self.simulator
+        time = simulator.now + delay
+        # Only the most recently created batch can still accept appends: the
+        # fence check requires that nothing was scheduled since the batch was
+        # created, and creating any newer batch (or event) breaks every older
+        # fence.  A single-slot cache therefore captures every batchable send
+        # with O(1) bookkeeping and nothing to prune.
+        batch = self._last_batch
+        if (
+            batch is not None
+            and batch.time == time
+            and simulator.try_append_to_batch(batch, envelope)
+        ):
+            return
+        self._last_batch = simulator.schedule_batch_at(
+            time, self._deliver_one, envelope, label="deliver batch"
+        )
+
+    def _deliver_one(self, envelope: Envelope) -> None:
+        receiver = envelope.receiver
+        if receiver in self._crashed:
+            self.trace.on_drop(envelope, "receiver crashed")
+            return
+        self.trace.on_deliver(envelope)
+        self._processes[receiver].receive(envelope)
 
     def broadcast(self, sender: ProcessId, receivers: frozenset[ProcessId], payload: object) -> None:
         """Send ``payload`` from ``sender`` to every process in ``receivers``."""

@@ -150,7 +150,9 @@ class Process:
             if not self._stopped:
                 callback()
 
-        handle = self.simulator.schedule(delay, guarded, label or f"{self.process_id!r} one-shot")
+        # Static default label: formatting the process id on every one-shot
+        # is measurable at large n and the label is only read when debugging.
+        handle = self.simulator.schedule(delay, guarded, label or "one-shot")
         self._timers.add(handle)
         return handle
 
@@ -162,7 +164,7 @@ class Process:
         """
         if period <= 0:
             raise ValueError("period must be positive")
-        timer = PeriodicTimer(self, period, callback, label or f"{self.process_id!r} periodic")
+        timer = PeriodicTimer(self, period, callback, label or "periodic")
         self._timers.add(timer)
         return timer
 

@@ -152,3 +152,47 @@ class TestImpossibilityExperiment:
         outcome = run_impossibility_experiment()
         assert outcome.execution_a.termination
         assert outcome.execution_b.termination
+
+
+class TestEngineTuning:
+    def test_summary_exports_engine_and_locator_counters(self, figures):
+        scenario = figures["fig1b"]
+        config = RunConfig(
+            graph=scenario.graph,
+            protocol=ProtocolConfig.bft_cup(1),
+            faulty={4: FaultSpec.silent()},
+        )
+        result = run_consensus(config)
+        summary = result.summary()
+        assert summary["events"] == result.events_processed > 0
+        assert summary["compactions"] == result.compactions >= 0
+        assert summary["pending_peak"] == result.pending_peak > 0
+        assert summary["sink_searches"] == result.sink_searches > 0
+        assert summary["search_skips"] == result.search_skips > 0
+
+    def test_compaction_threshold_is_trajectory_neutral(self, figures):
+        """Every compaction threshold yields the identical execution.
+
+        Compaction only rebuilds the heap's dead entries; it must never
+        reorder live events.  The exported trajectory (decisions, latencies,
+        messages, event and search counts) is therefore bit-identical for
+        an always-compacting, a default and a never-compacting engine; only
+        the ``compactions`` diagnostic itself may differ.
+        """
+        scenario = figures["fig1b"]
+
+        def run(threshold):
+            config = RunConfig(
+                graph=scenario.graph,
+                protocol=ProtocolConfig.bft_cup(1),
+                faulty={4: FaultSpec.silent()},
+                compaction_min_queue=threshold,
+            )
+            result = run_consensus(config)
+            summary = result.summary()
+            del summary["compactions"]
+            return (summary, result.decisions, result.decision_times, result.virtual_duration)
+
+        reference = run(None)
+        assert run(2) == reference
+        assert run(10**9) == reference

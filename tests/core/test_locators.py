@@ -47,11 +47,26 @@ class TestSinkLocator:
     def test_caches_by_discovery_version(self):
         registry = KeyRegistry(seed=0)
         graph = figure_1b().graph
-        state = discovery_for(graph, 1, registry, absorbed=[2])
+        # Three received PDs (>= 2f+1) so the search actually runs, but the
+        # view {1, 5, 6} admits no sink for f=1.
+        state = discovery_for(graph, 1, registry, absorbed=[5, 6])
         locator = SinkLocator(fault_threshold=1)
         locator.locate(state)
         locator.locate(state)
         assert locator.attempts == 1  # the second call hit the version cache
+        assert locator.skips == 1
+
+    def test_skips_search_below_2f_plus_1_records(self):
+        registry = KeyRegistry(seed=0)
+        graph = figure_1b().graph
+        state = discovery_for(graph, 1, registry, absorbed=[2])
+        locator = SinkLocator(fault_threshold=1)
+        # Two received PDs < 2f+1 = 3: no candidate S1 can satisfy P1, so
+        # the locator skips without even consulting the memo.
+        assert locator.locate(state) is None
+        assert locator.attempts == 0
+        assert locator.searches == 0
+        assert locator.skips == 1
 
     def test_result_is_cached_after_success(self):
         registry = KeyRegistry(seed=0)
@@ -123,7 +138,7 @@ class TestSinkSearchMemo:
     def test_negative_results_are_memoised_too(self):
         registry = KeyRegistry(seed=0)
         graph = figure_1b().graph
-        state = discovery_for(graph, 1, registry, absorbed=[2])
+        state = discovery_for(graph, 1, registry, absorbed=[5, 6])
         first = SinkLocator(fault_threshold=1)
         second = SinkLocator(fault_threshold=1)
         assert first.locate(state) is None
@@ -155,3 +170,93 @@ class TestSinkSearchMemo:
         assert memo.stats()["evictions"] == 1
         assert memo.lookup(("a",)) is SinkSearchMemo._MISS  # FIFO evicted
         assert memo.lookup(("c",)) == 3
+
+
+class TestIncrementalMatchesFromScratch:
+    """Property-style check: the incremental locators agree with a from-scratch
+    search of the current view after *every* absorb, over random absorb orders.
+
+    This pins the soundness argument of the whole incremental layer (delta
+    gating, the 2f+1 precheck, witness pinning and the content-keyed memo):
+    none of the shortcuts may ever produce a result the pure search on the
+    same view would not.
+    """
+
+    def _absorb_orders(self, graph, observer, rng_seeds):
+        import random
+
+        others = sorted((p for p in graph.processes if p != observer), key=repr)
+        for seed in rng_seeds:
+            order = list(others)
+            random.Random(seed).shuffle(order)
+            yield order
+
+    def _run_case(self, graph, observer, make_locator, scratch_search, rng_seeds=(0, 1, 2, 3, 4)):
+        from repro.graphs.sink_search import SearchOptions
+
+        options = SearchOptions()
+        registry = KeyRegistry(seed=0)
+        for order in self._absorb_orders(graph, observer, rng_seeds):
+            state = discovery_for(graph, observer, registry)
+            locator = make_locator()
+            pinned = None
+            for other in order:
+                other_state = discovery_for(graph, other, registry)
+                state.absorb(other_state.snapshot())
+                incremental = locator.locate(state)
+                scratch = scratch_search(state.view(), options)
+                if pinned is None:
+                    if incremental is None:
+                        assert scratch is None, (
+                            f"locator missed a witness after absorbing {other!r}"
+                        )
+                    else:
+                        pinned = incremental
+                if pinned is not None:
+                    assert incremental is not None and scratch is not None
+                    assert incremental.members == scratch.members
+                    assert incremental.connectivity == scratch.connectivity
+
+    def test_sink_locator_on_figure_1b(self):
+        from repro.graphs.sink_search import find_sink_with_fault_threshold
+
+        self._run_case(
+            figure_1b().graph,
+            observer=1,
+            make_locator=lambda: SinkLocator(fault_threshold=1),
+            scratch_search=lambda view, options: find_sink_with_fault_threshold(view, 1, options),
+        )
+
+    def test_sink_locator_on_generated_graph(self):
+        from repro.graphs.generators import generate_bft_cup_graph
+        from repro.graphs.sink_search import find_sink_with_fault_threshold
+
+        scenario = generate_bft_cup_graph(f=1, non_sink_size=6, seed=3)
+        self._run_case(
+            scenario.graph,
+            observer=1,
+            make_locator=lambda: SinkLocator(fault_threshold=1),
+            scratch_search=lambda view, options: find_sink_with_fault_threshold(view, 1, options),
+        )
+
+    def test_core_locator_on_figure_4b(self):
+        from repro.graphs.sink_search import find_core_candidate
+
+        self._run_case(
+            figure_4b().graph,
+            observer=1,
+            make_locator=CoreLocator,
+            scratch_search=lambda view, options: find_core_candidate(view, options),
+        )
+
+    def test_core_locator_on_generated_graph(self):
+        from repro.graphs.generators import generate_bft_cupft_graph
+        from repro.graphs.sink_search import find_core_candidate
+
+        scenario = generate_bft_cupft_graph(f=1, non_core_size=5, seed=4)
+        self._run_case(
+            scenario.graph,
+            observer=1,
+            make_locator=CoreLocator,
+            scratch_search=lambda view, options: find_core_candidate(view, options),
+        )

@@ -203,3 +203,141 @@ class TestHeapCompaction:
         simulator.run()
         assert seen == ["cancelled-late"]
         assert simulator.pending_events() == 0
+
+
+class TestEventBatches:
+    def test_payloads_run_in_append_order(self):
+        simulator = Simulator()
+        seen = []
+        batch = simulator.schedule_batch_at(1.0, seen.append, "a")
+        assert simulator.try_append_to_batch(batch, "b")
+        assert simulator.try_append_to_batch(batch, "c")
+        simulator.run()
+        assert seen == ["a", "b", "c"]
+        assert simulator.now == 1.0
+
+    def test_batch_interleaves_with_events_by_sequence(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule_at(1.0, lambda: seen.append("before"))
+        batch = simulator.schedule_batch_at(1.0, seen.append, "p1")
+        assert simulator.try_append_to_batch(batch, "p2")
+        simulator.schedule_at(1.0, lambda: seen.append("after"))
+        simulator.run()
+        assert seen == ["before", "p1", "p2", "after"]
+
+    def test_append_fails_once_fence_breaks(self):
+        simulator = Simulator()
+        batch = simulator.schedule_batch_at(1.0, lambda item: None, "a")
+        simulator.schedule_at(2.0, lambda: None)
+        assert not simulator.try_append_to_batch(batch, "b")
+
+    def test_append_fails_on_drained_batch(self):
+        simulator = Simulator()
+        batch = simulator.schedule_batch_at(1.0, lambda item: None, "a")
+        simulator.run()
+        assert batch.closed
+        assert not simulator.try_append_to_batch(batch, "b")
+
+    def test_payloads_count_as_individual_events(self):
+        simulator = Simulator()
+        seen = []
+        batch = simulator.schedule_batch_at(1.0, seen.append, "a")
+        for item in ("b", "c"):
+            assert simulator.try_append_to_batch(batch, item)
+        satisfied = simulator.run(until=lambda: len(seen) >= 2)
+        assert satisfied
+        # The stop predicate runs between payloads, exactly as it would
+        # between three separately scheduled events.
+        assert seen == ["a", "b"]
+        assert simulator.processed_events == 2
+
+    def test_handler_may_extend_the_batch_while_draining(self):
+        simulator = Simulator()
+        seen = []
+
+        def deliver(item):
+            seen.append(item)
+            if item == "a":
+                # No event was scheduled since the batch was created, so the
+                # fence still holds mid-drain.
+                assert simulator.try_append_to_batch(batch, "tail")
+
+        batch = simulator.schedule_batch_at(1.0, deliver, "a")
+        simulator.run()
+        assert seen == ["a", "tail"]
+
+    def test_past_horizon_batch_discards_one_payload_per_step(self):
+        simulator = Simulator(max_time=5.0)
+        seen = []
+        batch = simulator.schedule_batch_at(10.0, seen.append, "a")
+        for item in ("b", "c"):
+            assert simulator.try_append_to_batch(batch, item)
+        assert simulator.pending_events() == 3
+        assert not simulator.step()
+        assert simulator.pending_events() == 2
+        assert not simulator.step()
+        assert not simulator.step()
+        assert seen == []
+        assert simulator.pending_events() == 0
+        assert batch.closed
+
+    def test_pending_events_counts_batch_payloads(self):
+        simulator = Simulator()
+        batch = simulator.schedule_batch_at(1.0, lambda item: None, "a")
+        simulator.try_append_to_batch(batch, "b")
+        simulator.schedule_at(2.0, lambda: None)
+        assert simulator.pending_events() == 3
+
+    def test_pending_peak_is_a_high_water_mark(self):
+        simulator = Simulator()
+        batch = simulator.schedule_batch_at(1.0, lambda item: None, "a")
+        for item in ("b", "c", "d"):
+            simulator.try_append_to_batch(batch, item)
+        simulator.run()
+        assert simulator.pending_events() == 0
+        assert simulator.pending_peak == 4
+
+
+class TestCompactionThreshold:
+    def test_lower_threshold_compacts_smaller_queues(self):
+        simulator = Simulator(compaction_min_queue=10)
+        handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for handle in handles[:15]:
+            handle.cancel()
+        assert simulator.compactions >= 1
+        assert simulator.pending_events() == 5
+
+    def test_higher_threshold_suppresses_compaction(self):
+        simulator = Simulator(compaction_min_queue=1_000)
+        handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        assert simulator.compactions == 0
+        assert simulator.pending_events() == 50
+
+    def test_threshold_does_not_change_trajectories(self):
+        def trajectory(compaction_min_queue):
+            simulator = Simulator(compaction_min_queue=compaction_min_queue)
+            seen = []
+            cancel = []
+            for i in range(300):
+                delay = float(i % 7 + 1)
+                if i % 3 == 0:
+                    simulator.schedule(delay, lambda i=i: seen.append((simulator.now, i)))
+                else:
+                    cancel.append(simulator.schedule(delay, lambda: seen.append("dead")))
+
+            def mass_cancel():
+                for handle in cancel:
+                    handle.cancel()
+
+            simulator.schedule(0.5, mass_cancel)
+            simulator.run()
+            return seen, simulator.processed_events
+
+        reference = trajectory(None)
+        aggressive = trajectory(2)
+        never = trajectory(10**9)
+        assert aggressive == reference
+        assert never == reference

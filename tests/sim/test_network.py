@@ -207,3 +207,45 @@ class TestTransport:
         assert network.is_correct(1)
         network.crash(1)
         assert not network.is_correct(1)
+
+
+class TestDeliveryBatching:
+    def test_same_instant_broadcast_shares_one_heap_entry(self):
+        simulator, network, trace = make_network()
+        network.add_delay_override(lambda envelope: 1.0)
+        nodes = {pid: Recorder(pid, frozenset(), simulator, network) for pid in range(1, 12)}
+        network.broadcast(1, frozenset(nodes), "hello")
+        # Ten same-instant deliveries, one heap entry.
+        assert simulator.pending_events() == 10
+        assert len(simulator._queue) == 1
+        simulator.run()
+        received = [pid for pid, node in nodes.items() if node.received]
+        assert sorted(received) == [pid for pid in range(2, 12)]
+        assert all(node.received[0].payload == "hello" for pid, node in nodes.items() if pid != 1)
+        assert trace.messages_delivered == 10
+
+    def test_batched_delivery_respects_crashes(self):
+        simulator, network, trace = make_network()
+        network.add_delay_override(lambda envelope: 1.0)
+        nodes = {pid: Recorder(pid, frozenset(), simulator, network) for pid in (1, 2, 3)}
+        network.broadcast(1, frozenset(nodes), "hello")
+        network.crash(2)
+        simulator.run()
+        assert nodes[2].received == []
+        assert [env.payload for env in nodes[3].received] == ["hello"]
+
+    def test_distinct_delays_still_deliver_in_time_order(self):
+        simulator, network, trace = make_network()
+        delays = {2: 3.0, 3: 1.0, 4: 2.0}
+        network.add_delay_override(lambda envelope: delays[envelope.receiver])
+        order = []
+
+        class Logger(Recorder):
+            def receive(self, envelope):
+                super().receive(envelope)
+                order.append((simulator.now, self.process_id))
+
+        nodes = {pid: Logger(pid, frozenset(), simulator, network) for pid in (1, 2, 3, 4)}
+        network.broadcast(1, frozenset(nodes), "hello")
+        simulator.run()
+        assert order == [(1.0, 3), (2.0, 4), (3.0, 2)]
