@@ -10,7 +10,7 @@ authenticated model relies on.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.adversary.spec import FaultSpec
 from repro.core.config import ProtocolConfig
@@ -24,6 +24,9 @@ from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.process import Process
 from repro.sim.tracing import SimulationTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Runtime
 
 
 class SilentNode(Process):
@@ -54,7 +57,7 @@ class CrashNode(ConsensusNode):
         self.after(max(self.crash_time - self.now, 0.0), self._crash, label="crash fault")
 
     def _crash(self) -> None:
-        self.network.crash(self.process_id)
+        self.runtime.crash(self.process_id)
         self.stop()
 
 
@@ -156,12 +159,13 @@ def build_faulty_node(
     *,
     process_id: ProcessId,
     participant_detector: frozenset[ProcessId],
-    simulator: Simulator,
-    network: Network,
+    simulator: Simulator | None = None,
+    network: Network | None = None,
     registry: KeyRegistry,
     key: SigningKey,
     config: ProtocolConfig,
     trace: SimulationTrace | None = None,
+    runtime: "Runtime | None" = None,
 ) -> Process:
     """Instantiate the node implementing ``spec`` for a faulty process."""
     common = dict(
@@ -173,9 +177,10 @@ def build_faulty_node(
         key=key,
         config=config,
         trace=trace,
+        runtime=runtime,
     )
     if spec.behaviour == "silent":
-        return SilentNode(process_id, participant_detector, simulator, network)
+        return SilentNode(process_id, participant_detector, simulator, network, runtime=runtime)
     if spec.behaviour == "crash":
         return CrashNode(crash_time=spec.crash_time, **common)
     if spec.behaviour == "lying_pd":

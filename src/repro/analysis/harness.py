@@ -14,7 +14,7 @@ and every benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.adversary.nodes import build_faulty_node
 from repro.adversary.schedule import NetworkSchedule
@@ -29,6 +29,9 @@ from repro.sim.engine import Simulator
 from repro.sim.network import Network, PartialSynchronyModel, SynchronyModel
 from repro.sim.process import Process
 from repro.sim.tracing import SimulationTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Runtime
 
 
 @dataclass
@@ -88,6 +91,12 @@ class RunResult:
     #: incremental-analysis gates.
     sink_searches: int = 0
     search_skips: int = 0
+    #: Which runtime executed the run: ``"sim"`` (discrete-event engine) or
+    #: ``"live"`` (the asyncio socket runtime).
+    runtime_name: str = "sim"
+    #: Live-runtime counters (:class:`repro.runtime.asyncio_runtime.LiveRunStats`)
+    #: when the run executed over real sockets; ``None`` for simulated runs.
+    live: Any = None
 
     @property
     def consensus_solved(self) -> bool:
@@ -118,7 +127,7 @@ class RunResult:
 
     def summary(self) -> dict[str, Any]:
         """Compact dictionary used by the benchmarks to print result rows."""
-        return {
+        summary = {
             "correct": len(self.correct),
             "faulty": len(self.config.faulty),
             "terminated": self.termination,
@@ -134,16 +143,26 @@ class RunResult:
             "sink_searches": self.sink_searches,
             "search_skips": self.search_skips,
         }
+        if self.live is not None:
+            # Live-only keys: simulated summaries (and the committed BENCH
+            # baselines built from them) stay byte-identical.
+            summary["runtime"] = self.runtime_name
+            summary.update(self.live.summary_entries())
+        return summary
 
 
-def build_nodes(
+def build_protocol_nodes(
     config: RunConfig,
-    simulator: Simulator,
-    network: Network,
+    runtime: "Runtime",
     registry: KeyRegistry,
     trace: SimulationTrace,
 ) -> dict[ProcessId, Process]:
-    """Instantiate every process of the run (correct and faulty)."""
+    """Instantiate every process of the run (correct and faulty) on ``runtime``.
+
+    This is the runtime-agnostic builder: the discrete-event harness below
+    and the live harness (:func:`repro.runtime.harness.run_live_consensus`)
+    both call it, so a run's node population is identical on both substrates.
+    """
     nodes: dict[ProcessId, Process] = {}
     for process_id in sorted(config.graph.processes, key=repr):
         pd = config.graph.participant_detector(process_id)
@@ -153,8 +172,7 @@ def build_nodes(
             nodes[process_id] = ConsensusNode(
                 process_id=process_id,
                 participant_detector=pd,
-                simulator=simulator,
-                network=network,
+                runtime=runtime,
                 registry=registry,
                 key=key,
                 config=config.protocol,
@@ -165,14 +183,26 @@ def build_nodes(
                 spec,
                 process_id=process_id,
                 participant_detector=pd,
-                simulator=simulator,
-                network=network,
+                runtime=runtime,
                 registry=registry,
                 key=key,
                 config=config.protocol,
                 trace=trace,
             )
     return nodes
+
+
+def build_nodes(
+    config: RunConfig,
+    simulator: Simulator,
+    network: Network,
+    registry: KeyRegistry,
+    trace: SimulationTrace,
+) -> dict[ProcessId, Process]:
+    """Instantiate every process of a *simulated* run (correct and faulty)."""
+    from repro.runtime.sim import SimRuntime
+
+    return build_protocol_nodes(config, SimRuntime(simulator, network), registry, trace)
 
 
 def run_consensus(config: RunConfig) -> RunResult:
@@ -237,6 +267,38 @@ def run_consensus(config: RunConfig) -> RunResult:
     finally:
         del trace.on_decision  # restore the plain recording method
 
+    return collect_run_result(
+        config,
+        nodes,
+        correct,
+        trace,
+        virtual_duration=simulator.now,
+        events_processed=simulator.processed_events,
+        compactions=simulator.compactions,
+        pending_peak=simulator.pending_peak,
+    )
+
+
+def collect_run_result(
+    config: RunConfig,
+    nodes: dict[ProcessId, Process],
+    correct: frozenset[ProcessId],
+    trace: SimulationTrace,
+    *,
+    virtual_duration: float,
+    events_processed: int,
+    compactions: int = 0,
+    pending_peak: int = 0,
+    runtime_name: str = "sim",
+    live: Any = None,
+) -> RunResult:
+    """Evaluate the consensus properties of a finished run and package them.
+
+    Shared between the discrete-event harness above and the live harness
+    (:func:`repro.runtime.harness.run_live_consensus`): the property checks
+    and statistics are substrate-independent, they only read node state and
+    the trace.
+    """
     decisions: dict[ProcessId, Any] = {}
     decision_times: dict[ProcessId, float] = {}
     identified: dict[ProcessId, frozenset[ProcessId]] = {}
@@ -288,11 +350,13 @@ def run_consensus(config: RunConfig) -> RunResult:
         identified=identified,
         identification_times=identification_times,
         estimated_fault_thresholds=estimated,
-        virtual_duration=simulator.now,
+        virtual_duration=virtual_duration,
         messages_sent=trace.messages_sent,
-        events_processed=simulator.processed_events,
-        compactions=simulator.compactions,
-        pending_peak=simulator.pending_peak,
+        events_processed=events_processed,
+        compactions=compactions,
+        pending_peak=pending_peak,
         sink_searches=sink_searches,
         search_skips=search_skips,
+        runtime_name=runtime_name,
+        live=live,
     )

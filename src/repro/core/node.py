@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.config import ProtocolConfig, ProtocolMode
 from repro.core.discovery import DiscoveryState
@@ -36,6 +36,9 @@ from repro.sim.network import Network
 from repro.sim.process import PeriodicTimer, Process
 from repro.sim.tracing import SimulationTrace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Runtime
+
 _PBFT_MESSAGE_TYPES = (PrePrepare, Prepare, Commit, ViewChange, NewView)
 
 
@@ -46,18 +49,22 @@ class ConsensusNode(Process):
         self,
         process_id: ProcessId,
         participant_detector: frozenset[ProcessId],
-        simulator: Simulator,
-        network: Network,
-        registry: KeyRegistry,
-        key: SigningKey,
-        config: ProtocolConfig,
+        simulator: Simulator | None = None,
+        network: Network | None = None,
+        registry: KeyRegistry | None = None,
+        key: SigningKey | None = None,
+        config: ProtocolConfig | None = None,
         trace: SimulationTrace | None = None,
+        *,
+        runtime: "Runtime | None" = None,
     ) -> None:
-        super().__init__(process_id, participant_detector, simulator, network)
+        super().__init__(process_id, participant_detector, simulator, network, runtime=runtime)
+        if registry is None or key is None or config is None:
+            raise TypeError("ConsensusNode requires registry=, key= and config=")
         self.registry = registry
         self.key = key
         self.config = config
-        self.trace = trace if trace is not None else network.trace
+        self.trace = trace if trace is not None else self.runtime.trace
 
         self.discovery = DiscoveryState(
             process_id=process_id,

@@ -21,6 +21,7 @@ Framing errors are typed so callers can tell the recoverable cases apart:
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
@@ -68,11 +69,26 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def write_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
-    """Send one JSON object as a length-prefixed frame."""
+def _encode_body(payload: dict[str, Any]) -> bytes:
     body = json.dumps(payload, separators=(",", ":"), default=repr).encode()
     if len(body) > MAX_FRAME_BYTES:
         raise FrameTooLargeError(f"refusing to send a {len(body)}-byte frame")
+    return body
+
+
+def _parse_body(body: bytes) -> dict[str, Any]:
+    try:
+        message = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise TransportError(f"frame payload must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def write_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Send one JSON object as a length-prefixed frame."""
+    body = _encode_body(payload)
     sock.sendall(_HEADER.pack(len(body)) + body)
 
 
@@ -95,13 +111,41 @@ def read_frame(
     body = _recv_exactly(sock, length) if length else b""
     if body is None:
         raise TruncatedFrameError("connection closed between frame header and payload")
+    return _parse_body(body)
+
+
+async def write_frame_async(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+    """Asyncio variant of :func:`write_frame` (same wire format, same cap)."""
+    body = _encode_body(payload)
+    writer.write(_HEADER.pack(len(body)) + body)
+    await writer.drain()
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader, *, max_frame: int = MAX_FRAME_BYTES
+) -> dict[str, Any] | None:
+    """Asyncio variant of :func:`read_frame`; ``None`` on clean end-of-stream.
+
+    Raises the same typed errors as the blocking reader, so callers
+    (the live runtime's link handlers) share the recovery logic with the
+    work-queue protocol.
+    """
     try:
-        message = json.loads(body.decode())
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise TransportError(f"frame payload is not valid JSON: {error}") from error
-    if not isinstance(message, dict):
-        raise TransportError(f"frame payload must be a JSON object, got {type(message).__name__}")
-    return message
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise TruncatedFrameError(
+            f"connection closed mid-frame ({len(error.partial)} of {_HEADER.size} bytes received)"
+        ) from error
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLargeError(f"frame declares {length} bytes (cap {max_frame})")
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as error:
+        raise TruncatedFrameError("connection closed between frame header and payload") from error
+    return _parse_body(body)
 
 
 __all__ = [
@@ -111,4 +155,6 @@ __all__ = [
     "FrameTooLargeError",
     "read_frame",
     "write_frame",
+    "read_frame_async",
+    "write_frame_async",
 ]

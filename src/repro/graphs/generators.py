@@ -11,6 +11,7 @@ simulations and benchmarks reproducible.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Literal
@@ -18,6 +19,62 @@ from typing import Literal
 from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
 
 FaultPlacement = Literal["sink", "non_sink", "mixed", "none"]
+
+#: How the optional extra edges of the non-sink/non-core layer are sampled.
+#:
+#: ``"pairwise"`` draws one rng value per (member, earlier) pair — quadratic
+#: in the layer size, but those draws are semantically part of the graph
+#: family, so it stays the default: every existing seed reproduces its graph
+#: byte-identically.  ``"skip"`` draws geometric gaps between successive
+#: included edges (O(1 + p·k) draws per member), producing the same edge
+#: distribution from a *different* rng stream — use it for large sparse
+#: layers where the pairwise loop dominates generation time.
+ExtraEdgeSampling = Literal["pairwise", "skip"]
+
+
+def _sampled_indices(rng: random.Random, probability: float, count: int):
+    """Yield each index in ``range(count)`` independently with ``probability``.
+
+    Geometric skip sampling: instead of one Bernoulli draw per index, draw
+    the gap to the next success directly (``floor(log(1-u) / log(1-p))``),
+    so the expected number of rng draws is ``1 + p * count``.
+    """
+    if count <= 0:
+        return
+    if probability >= 1.0:
+        yield from range(count)
+        return
+    log_failure = math.log1p(-probability)
+    index = -1
+    while True:
+        u = rng.random()
+        # u == 0.0 would need log(1) / log(1-p) = 0 skipped failures.
+        gap = int(math.log1p(-u) / log_failure) if u > 0.0 else 0
+        index += gap + 1
+        if index >= count:
+            return
+        yield index
+
+
+def _extra_layer_edges(
+    graph: KnowledgeGraph,
+    rng: random.Random,
+    members: list[ProcessId],
+    position: int,
+    probability: float,
+    sampling: ExtraEdgeSampling,
+) -> None:
+    """Add the optional acyclic forward edges for ``members[position]``."""
+    member = members[position]
+    if sampling == "skip":
+        for earlier_index in _sampled_indices(rng, probability, position):
+            graph.add_edge(member, members[earlier_index])
+        return
+    if sampling != "pairwise":
+        raise ValueError(f"unknown extra_edge_sampling {sampling!r}")
+    for earlier in members[:position]:
+        if rng.random() < probability:
+            graph.add_edge(member, earlier)
 
 
 @dataclass(frozen=True)
@@ -63,6 +120,7 @@ def generate_bft_cup_graph(
     byzantine_placement: FaultPlacement = "sink",
     byzantine_count: int | None = None,
     extra_edge_probability: float = 0.1,
+    extra_edge_sampling: ExtraEdgeSampling = "pairwise",
     dense_sink: bool = False,
     seed: int = 0,
 ) -> GeneratedScenario:
@@ -118,12 +176,13 @@ def generate_bft_cup_graph(
         for target in targets:
             graph.add_edge(member, target)
         # With probability 0 no extra edge can appear, so the draws are
-        # skipped entirely; this keeps large sparse graphs O(n) to generate
-        # (the draw loop is quadratic in the non-sink layer size).
+        # skipped entirely; with "skip" sampling the expected draw count is
+        # linear in the edges actually added (see ExtraEdgeSampling for why
+        # the quadratic pairwise stream stays the default).
         if extra_edge_probability > 0.0:
-            for earlier in non_sink_members[:position]:
-                if rng.random() < extra_edge_probability:
-                    graph.add_edge(member, earlier)
+            _extra_layer_edges(
+                graph, rng, non_sink_members, position, extra_edge_probability, extra_edge_sampling
+            )
 
     # Byzantine processes.
     placements: list[str] = []
@@ -166,6 +225,13 @@ def generate_bft_cup_graph(
             "byzantine_count": byzantine_count,
             "seed": seed,
             "dense_sink": dense_sink,
+            # Recorded only when non-default so existing parameter dicts
+            # (and anything hashed from them) stay byte-identical.
+            **(
+                {"extra_edge_sampling": extra_edge_sampling}
+                if extra_edge_sampling != "pairwise"
+                else {}
+            ),
         },
     )
 
@@ -178,6 +244,7 @@ def generate_bft_cupft_graph(
     byzantine_placement: FaultPlacement = "sink",
     byzantine_count: int | None = None,
     extra_edge_probability: float = 0.1,
+    extra_edge_sampling: ExtraEdgeSampling = "pairwise",
     seed: int = 0,
 ) -> GeneratedScenario:
     """Generate a graph satisfying the BFT-CUPFT requirements (Section V).
@@ -222,12 +289,12 @@ def generate_bft_cupft_graph(
         targets = rng.sample(core_members, min(f + 1, len(core_members)))
         for target in targets:
             graph.add_edge(member, target)
-        # Same O(n) fast path as in generate_bft_cup_graph: zero probability
-        # means zero extra edges, so the quadratic draw loop is skipped.
+        # Same fast paths as in generate_bft_cup_graph: zero probability
+        # skips the draws, "skip" sampling makes them linear in the layer.
         if extra_edge_probability > 0.0:
-            for earlier in non_core_members[:position]:
-                if rng.random() < extra_edge_probability:
-                    graph.add_edge(member, earlier)
+            _extra_layer_edges(
+                graph, rng, non_core_members, position, extra_edge_probability, extra_edge_sampling
+            )
 
     placements: list[str] = []
     for index in range(byzantine_count):
@@ -262,6 +329,11 @@ def generate_bft_cupft_graph(
             "byzantine_placement": byzantine_placement,
             "byzantine_count": byzantine_count,
             "seed": seed,
+            **(
+                {"extra_edge_sampling": extra_edge_sampling}
+                if extra_edge_sampling != "pairwise"
+                else {}
+            ),
         },
     )
 

@@ -1,0 +1,83 @@
+"""The runtime seam between protocol state machines and their substrate.
+
+Protocol processes (:class:`~repro.sim.process.Process` and everything built
+on it) never talk to a transport or a clock directly: every message they
+send, every timer they arm and every timestamp they read goes through a
+:class:`Runtime`.  Two implementations exist:
+
+* :class:`~repro.runtime.sim.SimRuntime` — the discrete-event simulator
+  (virtual clock, deterministic delivery through the
+  :class:`~repro.sim.network.Network` rule engine);
+* :class:`~repro.runtime.asyncio_runtime.AsyncioRuntime` — real wall-clock
+  execution where each process exchanges length-prefixed JSON frames over
+  TCP sockets on an asyncio event loop.
+
+The protocol code is byte-for-byte identical on both: the seam is the whole
+point, and :mod:`repro.runtime.fidelity` asserts that the live runtime
+decides exactly the values the simulator predicts on the same topology.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any, Protocol
+
+from repro.graphs.knowledge_graph import ProcessId
+from repro.sim.tracing import SimulationTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+    from repro.sim.process import Process
+
+
+class TimerHandle(Protocol):
+    """A cancellable one-shot timer returned by :meth:`Runtime.schedule`."""
+
+    def cancel(self) -> None: ...
+
+    @property
+    def cancelled(self) -> bool: ...
+
+
+class Runtime(ABC):
+    """Execution substrate for protocol processes.
+
+    Concrete runtimes provide a clock (:attr:`now`), a transport
+    (:meth:`send`), one-shot timers (:meth:`schedule`), crash semantics
+    (:meth:`crash`) and a :class:`~repro.sim.tracing.SimulationTrace`.
+    ``simulator`` / ``network`` expose the underlying sim objects when the
+    runtime is the discrete-event engine and are ``None`` otherwise, so
+    sim-only tooling can keep reaching through the seam explicitly.
+    """
+
+    trace: SimulationTrace
+    #: The discrete-event engine behind this runtime, when there is one.
+    simulator: "Simulator | None" = None
+    #: The simulated network behind this runtime, when there is one.
+    network: "Network | None" = None
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in protocol time units (virtual or scaled wall clock)."""
+
+    @abstractmethod
+    def register(self, process: "Process") -> None:
+        """Attach ``process`` so it can receive messages (ids must be unique)."""
+
+    @abstractmethod
+    def send(self, sender: ProcessId, receiver: ProcessId, payload: Any) -> None:
+        """Transmit ``payload`` over the authenticated point-to-point channel."""
+
+    @abstractmethod
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> TimerHandle:
+        """Run ``callback`` once, ``delay`` protocol time units from now."""
+
+    @abstractmethod
+    def crash(self, process_id: ProcessId) -> None:
+        """Crash ``process_id``: it stops taking steps, its messages are dropped."""
+
+
+__all__ = ["Runtime", "TimerHandle"]

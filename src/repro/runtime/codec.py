@@ -1,0 +1,167 @@
+"""Wire codec for protocol payloads crossing the live socket transport.
+
+The protocols exchange frozen dataclasses built from exact container types:
+:func:`repro.crypto.signatures._canonical` treats tuples like lists when
+signing, but the PBFT replica compares signed payloads with *equality*
+(``_prepare_payload`` returns tuples), and discovery state dedupes on
+hashable frozensets.  A JSON round-trip must therefore reproduce every
+payload **exactly** — same classes, same container types, same scalars — or
+signatures would verify while quorum matching quietly breaks.
+
+The encoding is a small tagged tree: scalars pass through as themselves,
+containers and registered dataclasses become ``{"t": tag, ...}`` objects.
+Every JSON object the encoder emits is such a wrapper, so plain-scalar
+payload values are never ambiguous.  Set-like containers are serialised in
+a deterministic order (sorted by their members' encoded JSON), keeping
+frames reproducible byte-for-byte across processes and runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.core.messages import DecidedValue, GetDecidedValue, GetPds, PdRecord, SetPds
+from repro.crypto.signatures import SignedMessage
+from repro.pbft.messages import (
+    Commit,
+    GroupKey,
+    NewView,
+    PreparedCertificate,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
+
+
+class PayloadCodecError(ValueError):
+    """A payload (or frame) cannot be encoded/decoded losslessly."""
+
+
+#: Tags reserved for container shapes; registered class names must not collide.
+_CONTAINER_TAGS = frozenset({"tuple", "list", "set", "fset", "dict", "bytes"})
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_payload_type(cls: type) -> type:
+    """Register a dataclass so it can cross the live transport by name."""
+    if not dataclasses.is_dataclass(cls):
+        raise PayloadCodecError(f"{cls!r} is not a dataclass")
+    tag = cls.__name__
+    if tag in _CONTAINER_TAGS:
+        raise PayloadCodecError(f"class name {tag!r} collides with a reserved container tag")
+    existing = _REGISTRY.get(tag)
+    if existing is not None and existing is not cls:
+        raise PayloadCodecError(f"payload tag {tag!r} already registered for {existing!r}")
+    _REGISTRY[tag] = cls
+    return cls
+
+
+for _cls in (
+    # Discovery / decided-value query (Algorithms 1 and 3).
+    PdRecord,
+    GetPds,
+    SetPds,
+    GetDecidedValue,
+    DecidedValue,
+    # Signatures.
+    SignedMessage,
+    # Inner PBFT consensus.
+    GroupKey,
+    PrePrepare,
+    Prepare,
+    Commit,
+    PreparedCertificate,
+    ViewChange,
+    NewView,
+):
+    register_payload_type(_cls)
+del _cls
+
+
+def _sort_key(encoded: Any) -> str:
+    return json.dumps(encoded, separators=(",", ":"), sort_keys=True)
+
+
+def encode_value(value: Any) -> Any:
+    """Encode ``value`` into the tagged JSON-safe tree."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"t": "bytes", "v": value.hex()}
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return {"t": "list", "v": [encode_value(item) for item in value]}
+    if isinstance(value, (frozenset, set)):
+        tag = "fset" if isinstance(value, frozenset) else "set"
+        return {"t": tag, "v": sorted((encode_value(item) for item in value), key=_sort_key)}
+    if isinstance(value, dict):
+        items = [[encode_value(key), encode_value(item)] for key, item in value.items()]
+        items.sort(key=lambda pair: _sort_key(pair[0]))
+        return {"t": "dict", "v": items}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        tag = type(value).__name__
+        if _REGISTRY.get(tag) is not type(value):
+            raise PayloadCodecError(f"unregistered payload dataclass {type(value)!r}")
+        fields = {
+            field.name: encode_value(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {"t": tag, "f": fields}
+    raise PayloadCodecError(f"cannot encode {type(value).__name__} payloads: {value!r}")
+
+
+def decode_value(node: Any) -> Any:
+    """Decode a tree produced by :func:`encode_value`."""
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    if not isinstance(node, dict):
+        raise PayloadCodecError(f"malformed payload node: {node!r}")
+    tag = node.get("t")
+    if tag == "bytes":
+        return bytes.fromhex(node["v"])
+    if tag == "tuple":
+        return tuple(decode_value(item) for item in node["v"])
+    if tag == "list":
+        return [decode_value(item) for item in node["v"]]
+    if tag == "fset":
+        return frozenset(decode_value(item) for item in node["v"])
+    if tag == "set":
+        return {decode_value(item) for item in node["v"]}
+    if tag == "dict":
+        return {decode_value(key): decode_value(item) for key, item in node["v"]}
+    cls = _REGISTRY.get(tag)
+    if cls is None:
+        raise PayloadCodecError(f"unknown payload tag {tag!r}")
+    fields = node.get("f")
+    if not isinstance(fields, dict):
+        raise PayloadCodecError(f"malformed fields for payload tag {tag!r}")
+    return cls(**{name: decode_value(item) for name, item in fields.items()})
+
+
+def encode_frame(sender: Any, sent_at: float, payload: Any) -> dict[str, Any]:
+    """Build the wire frame for one protocol message."""
+    return {"s": encode_value(sender), "at": sent_at, "p": encode_value(payload)}
+
+
+def decode_frame(frame: dict[str, Any]) -> tuple[Any, float, Any]:
+    """Split a wire frame back into ``(sender, sent_at, payload)``."""
+    try:
+        return decode_value(frame["s"]), float(frame["at"]), decode_value(frame["p"])
+    except (KeyError, TypeError, ValueError) as error:
+        if isinstance(error, PayloadCodecError):
+            raise
+        raise PayloadCodecError(f"malformed live frame: {error}") from error
+
+
+__all__ = [
+    "PayloadCodecError",
+    "register_payload_type",
+    "encode_value",
+    "decode_value",
+    "encode_frame",
+    "decode_frame",
+]

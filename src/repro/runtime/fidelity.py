@@ -1,0 +1,98 @@
+"""Sim-vs-live fidelity gate.
+
+The live runtime is only trustworthy if it computes the *same answer* as the
+deterministic simulator on the same topology: the decided values are fixed
+by the protocol (the sink/core membership is unique by the paper's
+theorems, and the view-0 leader's proposal wins whenever it reaches the
+members within the view timeout), so wall-clock timing may differ but the
+decisions, the identified membership and the consensus properties must not.
+
+:func:`check_fidelity` runs one :class:`~repro.analysis.harness.RunConfig`
+under both runtimes and compares exactly those invariants; the CI
+``live-runtime-smoke`` job and the fidelity tests are built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.harness import RunConfig, RunResult, run_consensus
+from repro.runtime.harness import run_live_consensus
+
+
+class FidelityError(AssertionError):
+    """The live runtime diverged from the simulator's prediction."""
+
+
+@dataclass
+class FidelityReport:
+    """Side-by-side outcome of one config under both runtimes."""
+
+    sim: RunResult
+    live: RunResult
+
+    @property
+    def decisions_match(self) -> bool:
+        return self.sim.decisions == self.live.decisions
+
+    @property
+    def identified_match(self) -> bool:
+        return self.sim.identified == self.live.identified
+
+    @property
+    def properties_match(self) -> bool:
+        sim, live = self.sim.properties, self.live.properties
+        return (
+            sim.consensus_solved == live.consensus_solved
+            and sim.agreement == live.agreement
+            and sim.validity == live.validity
+            and sim.termination == live.termination
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.decisions_match and self.identified_match and self.properties_match
+
+    def describe(self) -> str:
+        """One line per invariant, for smoke-script output."""
+        lines = [
+            f"decisions:  sim={_fmt(self.sim.decisions)}  live={_fmt(self.live.decisions)}"
+            f"  -> {'ok' if self.decisions_match else 'MISMATCH'}",
+            f"identified: {'ok' if self.identified_match else 'MISMATCH'}",
+            f"properties: sim solved={self.sim.consensus_solved}"
+            f" live solved={self.live.consensus_solved}"
+            f"  -> {'ok' if self.properties_match else 'MISMATCH'}",
+        ]
+        return "\n".join(lines)
+
+
+def _fmt(decisions: dict) -> str:
+    return "{" + ", ".join(f"{p!r}: {v!r}" for p, v in sorted(decisions.items(), key=repr)) + "}"
+
+
+def check_fidelity(
+    config: RunConfig,
+    *,
+    time_scale: float = 0.02,
+    host: str = "127.0.0.1",
+) -> FidelityReport:
+    """Run ``config`` under both runtimes and compare the outcomes."""
+    sim = run_consensus(config)
+    live = run_live_consensus(config, time_scale=time_scale, host=host)
+    return FidelityReport(sim=sim, live=live)
+
+
+def assert_fidelity(
+    config: RunConfig,
+    *,
+    time_scale: float = 0.02,
+    host: str = "127.0.0.1",
+) -> FidelityReport:
+    """Like :func:`check_fidelity`, raising :class:`FidelityError` on divergence."""
+    report = check_fidelity(config, time_scale=time_scale, host=host)
+    if not report.ok:
+        raise FidelityError(f"live runtime diverged from the simulator:\n{report.describe()}")
+    return report
+
+
+__all__ = ["FidelityError", "FidelityReport", "check_fidelity", "assert_fidelity"]

@@ -1,0 +1,50 @@
+"""The discrete-event implementation of the :class:`~repro.runtime.base.Runtime` seam.
+
+A :class:`SimRuntime` is a thin adapter over the existing
+:class:`~repro.sim.engine.Simulator` and :class:`~repro.sim.network.Network`
+pair — it adds no behaviour of its own, so every deterministic trajectory
+recorded before the seam existed is reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from repro.graphs.knowledge_graph import ProcessId
+from repro.runtime.base import Runtime, TimerHandle
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Process
+
+
+class SimRuntime(Runtime):
+    """Runtime backed by the deterministic discrete-event engine."""
+
+    __slots__ = ("simulator", "network", "trace")
+
+    def __init__(self, simulator: Simulator, network: Network) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.trace = network.trace
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    def register(self, process: "Process") -> None:
+        self.network.register(process)
+
+    def send(self, sender: ProcessId, receiver: ProcessId, payload: Any) -> None:
+        self.network.send(sender, receiver, payload)
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> TimerHandle:
+        return self.simulator.schedule(delay, callback, label)
+
+    def crash(self, process_id: ProcessId) -> None:
+        self.network.crash(process_id)
+
+
+__all__ = ["SimRuntime"]

@@ -1,30 +1,40 @@
-"""Base class for simulated protocol processes.
+"""Base class for protocol processes.
 
 A :class:`Process` owns a process identifier, its participant detector, a
-reference to the network and the simulator, and a small runtime: message
-dispatch by payload type, periodic timers, and one-shot timers.  Protocol
-modules subclass it (or compose it) and register handlers with
-:meth:`on`.
+reference to the :class:`~repro.runtime.base.Runtime` it executes on, and a
+small dispatch layer: message handlers by payload type, periodic timers, and
+one-shot timers.  Protocol modules subclass it (or compose it) and register
+handlers with :meth:`on`.
+
+Processes are runtime-agnostic: the same handler code runs under the
+discrete-event simulator (:class:`~repro.runtime.sim.SimRuntime`) and over
+real sockets (:class:`~repro.runtime.asyncio_runtime.AsyncioRuntime`).  The
+historical ``Process(pid, pd, simulator, network)`` construction is kept —
+it wraps the pair into a :class:`~repro.runtime.sim.SimRuntime` — so
+sim-only code and tests read exactly as before.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.graphs.knowledge_graph import ProcessId
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.messages import Envelope
 from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Runtime, TimerHandle
 
 
 class PeriodicTimer:
     """Cancellable handle for a repeating timer created by :meth:`Process.every`.
 
-    The underlying simulator event changes on every tick, so a plain
-    :class:`~repro.sim.engine.EventHandle` cannot represent the timer;
-    this handle always points at the *current* tick event and cancelling it
-    both cancels that event and stops the rescheduling loop.
+    The underlying runtime timer changes on every tick, so a plain one-shot
+    handle cannot represent the timer; this handle always points at the
+    *current* tick and cancelling it both cancels that tick and stops the
+    rescheduling loop.
     """
 
     __slots__ = ("_owner", "_period", "_callback", "_label", "_handle", "_cancelled")
@@ -37,7 +47,7 @@ class PeriodicTimer:
         self._callback = callback
         self._label = label
         self._cancelled = False
-        self._handle = owner.simulator.schedule(period, self._tick, label)
+        self._handle = owner.runtime.schedule(period, self._tick, label)
 
     def _tick(self) -> None:
         if self._cancelled or self._owner.stopped:
@@ -45,7 +55,7 @@ class PeriodicTimer:
         self._callback()
         if self._cancelled or self._owner.stopped:
             return  # the callback cancelled the timer (or stopped the process)
-        self._handle = self._owner.simulator.schedule(self._period, self._tick, self._label)
+        self._handle = self._owner.runtime.schedule(self._period, self._tick, self._label)
 
     def cancel(self) -> None:
         """Stop the timer: cancel the pending tick and never reschedule."""
@@ -61,23 +71,35 @@ class PeriodicTimer:
 
 
 class Process:
-    """A protocol process attached to a simulator and a network."""
+    """A protocol process attached to a runtime."""
 
     def __init__(
         self,
         process_id: ProcessId,
         participant_detector: Iterable[ProcessId],
-        simulator: Simulator,
-        network: Network,
+        simulator: Simulator | None = None,
+        network: Network | None = None,
+        *,
+        runtime: "Runtime | None" = None,
     ) -> None:
+        if runtime is None:
+            if simulator is None or network is None:
+                raise TypeError("Process needs either runtime= or a (simulator, network) pair")
+            from repro.runtime.sim import SimRuntime
+
+            runtime = SimRuntime(simulator, network)
         self.process_id = process_id
         self.participant_detector = frozenset(participant_detector)
-        self.simulator = simulator
-        self.network = network
+        self.runtime = runtime
+        #: The underlying sim objects when running under the discrete-event
+        #: engine; ``None`` on live runtimes.  Protocol code must not depend
+        #: on them — they exist for sim-only tooling and tests.
+        self.simulator = runtime.simulator
+        self.network = runtime.network
         self._handlers: dict[type, Callable[[ProcessId, Any], None]] = {}
-        self._timers: set[EventHandle | PeriodicTimer] = set()
+        self._timers: set["TimerHandle | PeriodicTimer"] = set()
         self._stopped = False
-        network.register(self)
+        runtime.register(self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -98,8 +120,8 @@ class Process:
 
     @property
     def now(self) -> float:
-        """Current virtual time."""
-        return self.simulator.now
+        """Current protocol time (virtual, or scaled wall clock when live)."""
+        return self.runtime.now
 
     # ------------------------------------------------------------------
     # messaging
@@ -108,7 +130,7 @@ class Process:
         """Send ``payload`` to ``receiver`` over the authenticated channel."""
         if self._stopped:
             return
-        self.network.send(self.process_id, receiver, payload)
+        self.runtime.send(self.process_id, receiver, payload)
 
     def send_to_all(self, receivers: Iterable[ProcessId], payload: Any) -> None:
         """Send ``payload`` to every process in ``receivers`` (excluding self)."""
@@ -121,7 +143,7 @@ class Process:
         self._handlers[payload_type] = handler
 
     def receive(self, envelope: Envelope) -> None:
-        """Entry point called by the network when a message is delivered."""
+        """Entry point called by the runtime when a message is delivered."""
         if self._stopped:
             return
         handler = self._handlers.get(type(envelope.payload))
@@ -136,14 +158,14 @@ class Process:
     # ------------------------------------------------------------------
     # timers
     # ------------------------------------------------------------------
-    def after(self, delay: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+    def after(self, delay: float, callback: Callable[[], None], label: str = "") -> "TimerHandle":
         """Run ``callback`` once, ``delay`` time units from now.
 
         Fired handles are pruned from the process's timer registry, so
         long-lived processes scheduling many one-shots (PBFT view timers,
         re-requests) do not accumulate dead handles.
         """
-        handle: EventHandle
+        handle: "TimerHandle"
 
         def guarded() -> None:
             self._timers.discard(handle)
@@ -152,7 +174,7 @@ class Process:
 
         # Static default label: formatting the process id on every one-shot
         # is measurable at large n and the label is only read when debugging.
-        handle = self.simulator.schedule(delay, guarded, label or "one-shot")
+        handle = self.runtime.schedule(delay, guarded, label or "one-shot")
         self._timers.add(handle)
         return handle
 

@@ -1,9 +1,13 @@
 """Tests for the random graph generators."""
 
+import hashlib
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs.generators import (
+    _sampled_indices,
     generate_bft_cup_graph,
     generate_bft_cupft_graph,
     generate_random_digraph,
@@ -78,6 +82,74 @@ class TestCupftGenerator:
         oracle = StaticOracle(scenario.graph, scenario.faulty)
         assert oracle.safe_core == scenario.core_of_safe_graph
         assert len(scenario.core_of_safe_graph) == 5
+
+
+def _edge_digest(scenario) -> str:
+    edges = sorted((repr(a), repr(b)) for a, b in scenario.graph.edges())
+    return hashlib.sha256(repr(edges).encode()).hexdigest()[:16]
+
+
+class TestExtraEdgeSampling:
+    """The O(1 + p*k) geometric-skip alternative to the pairwise rng stream."""
+
+    def test_default_stream_is_byte_identical(self):
+        # Pinned digests: the default ("pairwise") stream must never change
+        # for existing seeds, or every committed expectation drifts.
+        assert _edge_digest(generate_bft_cup_graph(f=1, non_sink_size=6, seed=7)) == (
+            "9166d0576253652d"
+        )
+        explicit = generate_bft_cup_graph(
+            f=1, non_sink_size=6, seed=7, extra_edge_sampling="pairwise"
+        )
+        assert _edge_digest(explicit) == "9166d0576253652d"
+        assert "extra_edge_sampling" not in explicit.parameters
+
+    def test_skip_sampling_pinned_digests(self):
+        # Skip sampling draws a different (but equally valid) graph family
+        # member; pin its stream so refactors of the gap formula are caught.
+        cup = generate_bft_cup_graph(f=1, non_sink_size=6, seed=7, extra_edge_sampling="skip")
+        assert _edge_digest(cup) == "6d0cd2f0f4fa2184"
+        assert cup.parameters["extra_edge_sampling"] == "skip"
+        cupft = generate_bft_cupft_graph(f=2, non_core_size=8, seed=11, extra_edge_sampling="skip")
+        assert _edge_digest(cupft) == "f57148d7f0176015"
+        assert cupft.parameters["extra_edge_sampling"] == "skip"
+
+    @settings(max_examples=12, deadline=None)
+    @given(f=st.integers(0, 2), non_sink=st.integers(0, 6), seed=st.integers(0, 50))
+    def test_skip_sampled_graphs_satisfy_theorem_1(self, f, non_sink, seed):
+        scenario = generate_bft_cup_graph(
+            f=f, non_sink_size=non_sink, seed=seed, extra_edge_sampling="skip"
+        )
+        assert satisfies_bft_cup(scenario.graph, f, scenario.faulty)
+
+    @settings(max_examples=12, deadline=None)
+    @given(f=st.integers(0, 2), non_core=st.integers(0, 6), seed=st.integers(0, 50))
+    def test_skip_sampled_graphs_satisfy_cupft(self, f, non_core, seed):
+        scenario = generate_bft_cupft_graph(
+            f=f, non_core_size=non_core, seed=seed, extra_edge_sampling="skip"
+        )
+        assert satisfies_bft_cupft(scenario.graph, f, scenario.faulty)
+
+    def test_unknown_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            generate_bft_cup_graph(f=1, non_sink_size=3, extra_edge_sampling="bogus")
+
+    def test_sampled_indices_probability_one_yields_all(self):
+        rng = random.Random(0)
+        assert list(_sampled_indices(rng, 1.0, 5)) == [0, 1, 2, 3, 4]
+
+    def test_sampled_indices_are_strictly_increasing_and_bounded(self):
+        rng = random.Random(3)
+        for count in (0, 1, 10, 100):
+            indices = list(_sampled_indices(rng, 0.3, count))
+            assert indices == sorted(set(indices))
+            assert all(0 <= index < count for index in indices)
+
+    def test_sampled_indices_hit_rate_matches_probability(self):
+        rng = random.Random(42)
+        draws = 200_000
+        hits = sum(1 for _ in _sampled_indices(rng, 0.1, draws))
+        assert hits == pytest.approx(draws * 0.1, rel=0.05)
 
 
 class TestOtherGenerators:

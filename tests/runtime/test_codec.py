@@ -1,0 +1,182 @@
+"""Round-trip tests for the live wire codec.
+
+The codec must reproduce payloads *exactly* — same classes, same container
+types — because the protocols compare signed payloads by equality and dedupe
+discovery state on hashable frozensets.
+"""
+
+import pytest
+
+from repro.core.messages import DecidedValue, GetDecidedValue, GetPds, PdRecord, SetPds
+from repro.crypto.signatures import KeyRegistry
+from repro.pbft.messages import (
+    Commit,
+    GroupKey,
+    NewView,
+    PreparedCertificate,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
+from repro.runtime.codec import (
+    PayloadCodecError,
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+    register_payload_type,
+)
+
+
+def roundtrip(value):
+    import json
+
+    encoded = encode_value(value)
+    # The wire applies a real JSON round-trip; include it so tuples inside
+    # the tree cannot sneak through as native Python objects.
+    return decode_value(json.loads(json.dumps(encoded)))
+
+
+class TestScalars:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 0, -7, 3.25, "hello", ""):
+            assert roundtrip(value) == value
+            assert type(roundtrip(value)) is type(value)
+
+    def test_bytes(self):
+        assert roundtrip(b"\x00\xffpayload") == b"\x00\xffpayload"
+
+
+class TestContainers:
+    def test_tuple_vs_list_preserved(self):
+        value = (1, [2, 3], (4, 5))
+        result = roundtrip(value)
+        assert result == value
+        assert isinstance(result, tuple)
+        assert isinstance(result[1], list)
+        assert isinstance(result[2], tuple)
+
+    def test_frozenset_vs_set_preserved(self):
+        fs = frozenset({1, 2, 3})
+        assert roundtrip(fs) == fs
+        assert isinstance(roundtrip(fs), frozenset)
+        s = {4, 5}
+        assert roundtrip(s) == s
+        assert type(roundtrip(s)) is set
+
+    def test_dict_with_tuple_keys(self):
+        value = {(1, "a"): frozenset({2}), (3, "b"): [4]}
+        assert roundtrip(value) == value
+
+    def test_frozenset_encoding_is_deterministic(self):
+        a = encode_value(frozenset({"x", "y", "z", 1, 2}))
+        b = encode_value(frozenset({2, "z", 1, "y", "x"}))
+        assert a == b
+
+
+class TestMessages:
+    def test_discovery_messages(self):
+        registry = KeyRegistry(seed=1)
+        key = registry.generate(1)
+        record = PdRecord(owner=1, pd=frozenset({2, 3}))
+        signed = key.sign(record)
+        for message in (
+            GetPds(),
+            SetPds(entries=frozenset({signed})),
+            GetDecidedValue(),
+            DecidedValue(value="v"),
+            record,
+            signed,
+        ):
+            assert roundtrip(message) == message
+
+    def test_pbft_messages_nested_certificate(self):
+        registry = KeyRegistry(seed=2)
+        group = GroupKey(members=frozenset({1, 2, 3}))
+        prepares = frozenset(
+            registry.generate(pid).sign((group, 0, "value", pid)) for pid in (1, 2)
+        )
+        cert = PreparedCertificate(group=group, view=0, value="value", prepares=prepares)
+        view_change = ViewChange(group=group, new_view=1, voter=1, prepared=cert)
+        new_view = NewView(
+            group=group,
+            view=1,
+            value="value",
+            justification=frozenset({view_change}),
+        )
+        pre_prepare = PrePrepare(
+            group=group, view=0, value="value", signed=registry.generate(1).sign((group, 0, "value"))
+        )
+        prepare = Prepare(
+            group=group,
+            view=0,
+            value="value",
+            voter=2,
+            signed=registry.generate(2).sign((group, 0, "value", 2)),
+        )
+        commit = Commit(group=group, view=0, value="value", voter=2)
+        for message in (group, cert, view_change, new_view, pre_prepare, prepare, commit):
+            assert roundtrip(message) == message
+
+    def test_signature_still_verifies_after_roundtrip(self):
+        registry = KeyRegistry(seed=3)
+        key = registry.generate("p1")
+        signed = key.sign(PdRecord(owner="p1", pd=frozenset({"p2"})))
+        assert registry.verify(roundtrip(signed))
+
+    def test_signed_tuple_payload_equality_survives(self):
+        # PBFT compares signed payloads by equality; a tuple must not come
+        # back as a list.
+        registry = KeyRegistry(seed=4)
+        group = GroupKey(members=frozenset({1, 2}))
+        signed = registry.generate(1).sign((group, 0, "v"))
+        back = roundtrip(signed)
+        assert back.message == (group, 0, "v")
+        assert isinstance(back.message, tuple)
+
+
+class TestErrors:
+    def test_unregistered_dataclass_rejected(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class NotRegistered:
+            x: int = 1
+
+        with pytest.raises(PayloadCodecError):
+            encode_value(NotRegistered())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(PayloadCodecError):
+            decode_value({"t": "NoSuchPayload", "f": {}})
+
+    def test_malformed_node_rejected(self):
+        with pytest.raises(PayloadCodecError):
+            decode_value(object())
+
+    def test_register_rejects_non_dataclass(self):
+        with pytest.raises(PayloadCodecError):
+            register_payload_type(int)
+
+    def test_register_rejects_container_tag_collision(self):
+        from dataclasses import dataclass
+
+        tuple_cls = dataclass(frozen=True)(type("tuple", (), {"__annotations__": {}}))
+        with pytest.raises(PayloadCodecError):
+            register_payload_type(tuple_cls)
+
+    def test_malformed_frame_rejected(self):
+        with pytest.raises(PayloadCodecError):
+            decode_frame({"s": 1})
+
+
+class TestFrames:
+    def test_frame_roundtrip(self):
+        import json
+
+        frame = encode_frame(1, 2.5, DecidedValue(value=("v", frozenset({1}))))
+        sender, sent_at, payload = decode_frame(json.loads(json.dumps(frame)))
+        assert sender == 1
+        assert sent_at == 2.5
+        assert payload == DecidedValue(value=("v", frozenset({1})))
+        assert isinstance(payload.value, tuple)

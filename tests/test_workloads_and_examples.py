@@ -275,7 +275,13 @@ class TestModelSubtlety:
 
 @pytest.mark.parametrize(
     "script",
-    ["quickstart.py", "unknown_fault_threshold.py", "blockchain_membership.py", "custom_topology.py"],
+    [
+        "quickstart.py",
+        "live_quickstart.py",
+        "unknown_fault_threshold.py",
+        "blockchain_membership.py",
+        "custom_topology.py",
+    ],
 )
 def test_examples_run_to_completion(script, capsys):
     """Every example script must run end-to-end without raising."""
