@@ -20,13 +20,13 @@ from repro.crypto.signatures import KeyRegistry, SigningKey
 from repro.graphs.knowledge_graph import ProcessId
 from repro.pbft.messages import PrePrepare
 from repro.pbft.replica import _preprepare_payload
-from repro.sim.engine import Simulator
-from repro.sim.network import Network
 from repro.sim.process import Process
 from repro.sim.tracing import SimulationTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.base import Runtime
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
 
 
 class SilentNode(Process):

@@ -304,7 +304,7 @@ def collect_run_result(
     identified: dict[ProcessId, frozenset[ProcessId]] = {}
     identification_times: dict[ProcessId, float] = {}
     estimated: dict[ProcessId, int | None] = {}
-    for process_id in correct:
+    for process_id in sorted(correct, key=repr):
         node = nodes[process_id]
         if isinstance(node, ConsensusNode):
             if node.decided:
@@ -319,7 +319,7 @@ def collect_run_result(
 
     sink_searches = 0
     search_skips = 0
-    for process_id in correct:
+    for process_id in sorted(correct, key=repr):
         node = nodes[process_id]
         if isinstance(node, ConsensusNode):
             sink_searches += node.locator.searches

@@ -28,7 +28,7 @@ from repro.adversary.spec import FaultSpec
 from repro.analysis.harness import RunConfig, RunResult, run_consensus
 from repro.core.config import ProtocolConfig
 from repro.graphs.figures import figure_2a, figure_2b, figure_2c
-from repro.sim.network import PartialSynchronyModel
+from repro.sim.synchrony import PartialSynchronyModel
 
 GROUP_A = frozenset({1, 2, 3, 4})
 GROUP_B = frozenset({5, 6, 7, 8})

@@ -15,7 +15,7 @@ This module realises each cell as a concrete simulated workload:
 * *Unknown n, unknown f* -- the Fig. 4b graph (extended k-OSR) run with the
   BFT-CUPFT protocol.
 * *Synchronous / partially synchronous* -- the corresponding synchrony
-  models of :mod:`repro.sim.network`.
+  models of :mod:`repro.sim.synchrony`.
 * *Asynchronous* -- no GST: the adversarial scheduler withholds every
   message sent by one correct sink/core member forever (admissible in an
   asynchronous system), which leaves only ``2f`` correct members reachable
@@ -38,7 +38,7 @@ from repro.analysis.tables import render_table
 from repro.core.config import ProtocolConfig
 from repro.graphs.figures import figure_1b, figure_4b
 from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
-from repro.sim.network import (
+from repro.sim.synchrony import (
     AsynchronousModel,
     PartialSynchronyModel,
     SynchronousModel,

@@ -72,7 +72,7 @@ class DisjointPathTracker:
             hops = list(path) + [self.receiver]
             if hops[0] != origin:
                 hops = [origin] + hops
-            for source, target in zip(hops, hops[1:]):
+            for source, target in zip(hops, hops[1:], strict=False):
                 graph.add_edge(source, target)
         if origin == self.receiver:
             return len(paths)

@@ -27,7 +27,8 @@ from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
 from repro.graphs.predicates import KnowledgeView
 from repro.graphs.sink_search import SearchOptions, find_sink_with_fault_threshold
 from repro.sim.engine import Simulator
-from repro.sim.network import Network, PartialSynchronyModel
+from repro.sim.network import Network
+from repro.sim.synchrony import PartialSynchronyModel
 from repro.sim.process import Process
 from repro.sim.tracing import SimulationTrace
 
@@ -173,7 +174,7 @@ def _outcome(
 ) -> SinkDiscoveryOutcome:
     identified = {}
     times = {}
-    for process_id in correct:
+    for process_id in sorted(correct, key=repr):
         node = nodes[process_id]
         members = getattr(node, "identified_members", None)
         if members is not None:

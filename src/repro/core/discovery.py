@@ -67,7 +67,7 @@ class AbsorbDelta:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class DiscoveryState:
     """Local discovery state of one process (Algorithm 1, lines 1 and 4-6)."""
 
@@ -131,12 +131,20 @@ class DiscoveryState:
         stored copy's earlier acceptance already proves this one valid, and
         a stored record's PD is already folded into ``known``.
 
+        The fold is independent of the iteration order of ``entries`` (which
+        is hash-seed dependent for a ``frozenset``): ``known``, ``received``
+        and the delta components are set unions, and when one payload
+        carries *conflicting* records for the same owner — possible only
+        from an equivocating sender — the stored record is the one with the
+        smallest signature tag, not whichever the set yields first.
+
         Returns an :class:`AbsorbDelta`, truthy when the view changed.
         """
         new_records: list[ProcessId] = []
         new_known: list[ProcessId] = []
+        stored_this_call: set[ProcessId] = set()
         analysis_changed = False
-        for entry in entries:
+        for entry in entries:  # lint: allow[DET-ORDER-SET] order-insensitive fold; same-owner conflicts resolved by canonical tag below
             record = entry.message
             if not isinstance(record, PdRecord):
                 self.rejected_records += 1
@@ -154,12 +162,23 @@ class DiscoveryState:
             if stored is None:
                 self.records[owner] = entry
                 self.received.add(owner)
+                stored_this_call.add(owner)
                 new_records.append(owner)
                 self._pd_union.update(record.pd)
                 analysis_changed = True
                 if owner not in self.known:
                     self.known.add(owner)
                     new_known.append(owner)
+            elif owner in stored_this_call and entry.tag < self.records[owner].tag:
+                # This payload carries two different records signed by the
+                # same owner.  "First one wins" would make the stored record
+                # depend on the frozenset's hash-seed-driven order; keep the
+                # entry with the smallest tag instead, a total order over
+                # conflicting records.  (``_pd_union`` keeps the loser's PD:
+                # it is documented as a superset and both PDs fold into
+                # ``known`` below either way.)
+                self.records[owner] = entry
+                self._pd_union.update(record.pd)
             members = set(record.pd) - self.known
             if members:
                 self.known.update(members)

@@ -31,13 +31,13 @@ from repro.crypto.signatures import KeyRegistry, SigningKey
 from repro.graphs.knowledge_graph import ProcessId
 from repro.pbft.messages import Commit, GroupKey, NewView, PrePrepare, Prepare, ViewChange
 from repro.pbft.replica import SingleShotPbft
-from repro.sim.engine import Simulator
-from repro.sim.network import Network
 from repro.sim.process import PeriodicTimer, Process
 from repro.sim.tracing import SimulationTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.base import Runtime
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
 
 _PBFT_MESSAGE_TYPES = (PrePrepare, Prepare, Commit, ViewChange, NewView)
 

@@ -17,7 +17,7 @@ metadata rather than dropping them silently.
 
 from __future__ import annotations
 
-import time
+import time  # lint: allow-file[DET-SEED-CLOCK] operational timing: perf_counter measures cell wall-time for reports, never protocol time
 import traceback
 from collections.abc import Callable, Iterator, Sequence
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable

@@ -41,7 +41,7 @@ import os
 import re
 import subprocess
 import sys
-import time
+import time  # lint: allow-file[DET-SEED-CLOCK] operational timing: lease deadlines and heartbeats are wall-clock by design
 import warnings
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass

@@ -38,7 +38,7 @@ import os
 import socket
 import sys
 import threading
-import time
+import time  # lint: allow-file[DET-SEED-CLOCK] operational timing: connection deadlines, retry backoff and progress display
 import traceback
 import uuid
 from collections import deque

@@ -21,7 +21,7 @@ from typing import Any
 from repro.experiments.scenario import GraphSpec
 from repro.graphs.figures import FigureScenario
 from repro.graphs.generators import GeneratedScenario
-from repro.graphs.knowledge_graph import ProcessId
+from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
 from repro.graphs.predicates import KnowledgeView, SinkWitness
 from repro.graphs.sink_search import (
     CoreWitness,
@@ -46,7 +46,7 @@ class GraphAnalysis:
     undirected_connected: bool
 
     @property
-    def graph(self):  # noqa: ANN201 - KnowledgeGraph, avoids re-import
+    def graph(self) -> "KnowledgeGraph":
         return self.scenario.graph
 
     @property

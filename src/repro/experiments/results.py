@@ -15,7 +15,7 @@ from __future__ import annotations
 import csv
 import json
 import math
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -192,7 +192,7 @@ class SuiteResult:
     def __len__(self) -> int:
         return len(self.outcomes)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ScenarioOutcome]:
         return iter(self.outcomes)
 
     # Aggregation -----------------------------------------------------------

@@ -27,7 +27,7 @@ run.
 
 from __future__ import annotations
 
-import time
+import time  # lint: allow-file[DET-SEED-CLOCK] operational timing: per-cell wall-time reporting only; seeds come from derive_seed
 import warnings
 from collections.abc import Callable, Iterable
 from typing import Any

@@ -45,7 +45,7 @@ from repro.graphs.generators import (
     generate_bft_cupft_graph,
     generate_split_brain_graph,
 )
-from repro.sim.network import (
+from repro.sim.synchrony import (
     AsynchronousModel,
     PartialSynchronyModel,
     SynchronousModel,
@@ -134,7 +134,7 @@ class GraphSpec:
         names = sorted(axes)
         specs = []
         for values in product(*(tuple(axes[name]) for name in names)):
-            specs.append(cls(family=family, params=_freeze_params(dict(zip(names, values)))))
+            specs.append(cls(family=family, params=_freeze_params(dict(zip(names, values, strict=True)))))
         return tuple(specs)
 
     # Introspection ---------------------------------------------------------

@@ -39,7 +39,7 @@ import os
 import signal
 import socket
 import threading
-import time
+import time  # lint: allow-file[DET-SEED-CLOCK] operational timing: worker heartbeats and wall-time accounting
 import traceback
 from pathlib import Path
 

@@ -191,7 +191,7 @@ def generate_bft_cup_graph(
             placements.append("sink" if index % 2 == 0 else "non_sink")
         else:
             placements.append(byzantine_placement)
-    for member, placement in zip(byzantine_members, placements):
+    for member, placement in zip(byzantine_members, placements, strict=True):
         if placement == "sink":
             # Known by every correct sink member and pointing back, as in
             # Fig. 1b.  Attaching it with only f+1 knowers (the minimum of
@@ -302,7 +302,7 @@ def generate_bft_cupft_graph(
             placements.append("sink" if index % 2 == 0 else "non_sink")
         else:
             placements.append("sink" if byzantine_placement == "sink" else "non_sink")
-    for member, placement in zip(byzantine_members, placements):
+    for member, placement in zip(byzantine_members, placements, strict=True):
         if placement == "sink":
             # Known by every correct core member (see the comment in
             # generate_bft_cup_graph for why f+1 knowers are not enough).

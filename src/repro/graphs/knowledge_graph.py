@@ -171,9 +171,12 @@ class KnowledgeGraph:
         if unknown:
             raise KeyError(f"unknown processes: {sorted(map(repr, unknown))}")
         sub = KnowledgeGraph()
-        for node in keep:
+        # Hot path (called per candidate set during sink searches); the
+        # resulting adjacency is queried as sets/counts, never walked in
+        # insertion order, so materialising a sorted copy would be pure cost.
+        for node in keep:  # lint: allow[DET-ORDER-SET] order-insensitive graph build on a hot path
             sub.add_process(node)
-        for node in keep:
+        for node in keep:  # lint: allow[DET-ORDER-SET] order-insensitive graph build on a hot path
             for target in self._succ[node]:
                 if target in keep:
                     sub.add_edge(node, target)

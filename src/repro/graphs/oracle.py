@@ -92,7 +92,7 @@ class StaticOracle:
             return frozenset()
         f = max(self.safe_osr_k - 1, 0)
         extra = set()
-        for candidate in self.faulty:
+        for candidate in sorted(self.faulty, key=repr):
             in_neighbours = sum(
                 1 for member in safe_sink if self.graph.has_edge(member, candidate)
             )
@@ -130,7 +130,7 @@ class StaticOracle:
         if witness is None:
             return frozenset()
         extra = set()
-        for candidate in self.faulty:
+        for candidate in sorted(self.faulty, key=repr):
             in_neighbours = sum(
                 1 for member in witness.members if self.graph.has_edge(member, candidate)
             )

@@ -52,7 +52,7 @@ from repro.graphs.search_memo import SinkSearchMemo, sink_search_memo
 PdView = Mapping[ProcessId, frozenset[ProcessId]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KnowledgeView:
     """A (possibly partial) view of the knowledge connectivity graph.
 
@@ -89,9 +89,9 @@ class KnowledgeView:
         """Build the graph induced by ``nodes`` using the received PDs."""
         keep = set(nodes)
         graph = KnowledgeGraph()
-        for node in keep:
+        for node in keep:  # lint: allow[DET-ORDER-SET] order-insensitive graph build on a hot path
             graph.add_process(node)
-        for node in keep:
+        for node in keep:  # lint: allow[DET-ORDER-SET] order-insensitive graph build on a hot path
             pd = self.pds.get(node)
             if pd is None:
                 continue
@@ -126,7 +126,7 @@ def derived_s2(
     ``f`` in-neighbours in ``S1`` (according to the received PDs).
     """
     counts: dict[ProcessId, int] = {}
-    for member in s1:
+    for member in s1:  # lint: allow[DET-ORDER-SET] commutative count fold; result is consumed as a set
         for target in view.pds.get(member, frozenset()):
             if target not in s1:
                 counts[target] = counts.get(target, 0) + 1
@@ -197,7 +197,7 @@ def is_sink_gdi(
     # known process outside S1 (and outside S2 in the non-strict reading).
     known = view.known
     escapers = 0
-    for member in s1_set:
+    for member in s1_set:  # lint: allow[DET-ORDER-SET] commutative count fold on the innermost predicate loop
         for target in view.pds.get(member, frozenset()):
             if target in s1_set or target not in known:
                 continue
@@ -223,7 +223,7 @@ def is_sink_gdi(
     return result
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SinkWitness:
     """A successful evaluation of ``isSinkGdi`` for some split of a set.
 

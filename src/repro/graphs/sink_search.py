@@ -41,7 +41,7 @@ DEFAULT_EXHAUSTIVE_LIMIT = 12
 DEFAULT_MAX_SUBSETS = 50_000
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SearchOptions:
     """Tuning knobs shared by every sink-search entry point."""
 
@@ -250,7 +250,7 @@ def _has_stronger_subsink_scan(
     return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoreWitness:
     """A core identification: the sink witness plus the connectivity used."""
 

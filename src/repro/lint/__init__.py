@@ -1,0 +1,41 @@
+"""Determinism-and-layering static analysis for the protocol stack.
+
+Every reproducibility guarantee this repository makes — bit-identical
+trajectories across execution backends, byte-stable cell digests, the
+sim-vs-live fidelity gate — rests on invariants that are invisible to a
+conventional linter:
+
+* no iteration over unordered collections on trajectory-affecting paths
+  (**DET-ORDER**),
+* no unseeded randomness and no wall-clock reads inside protocol code
+  (**DET-SEED**),
+* no protocol module reaching around the :mod:`repro.runtime` seam into
+  the simulator internals (**SEAM**),
+* no fire-and-forget coroutines or blocking calls on the live event loop
+  (**ASYNC**),
+* no mutable default arguments, and ``slots=True`` on the hot-path
+  dataclasses (**SLOTS-MUT**).
+
+:mod:`repro.lint` enforces them mechanically: ``python -m repro.lint src``
+parses every file once, runs the checker families scoped by
+:class:`~repro.lint.config.LintConfig`, applies inline suppressions
+(``# lint: allow[RULE] reason``) and the committed baseline file, and exits
+nonzero on any *new* finding.  See the README's "Static analysis" section
+for the rule catalog and workflows.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, SeamRule
+from repro.lint.model import Finding, LintReport
+from repro.lint.runner import lint_file, lint_paths
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "SeamRule",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,82 @@
+"""The committed baseline: legacy findings pinned, not silenced.
+
+A baseline maps finding fingerprints (line-insensitive, see
+:meth:`repro.lint.model.Finding.fingerprint`) to occurrence counts.  During
+a run each current finding consumes one unit of its fingerprint's budget;
+findings beyond the budget are *new* and fail the run.  Budget left over is
+reported as stale so the file shrinks as debt is paid down — the baseline
+can only ever get smaller without an explicit ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.model import Finding, LintReport
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not a valid baseline document."""
+
+
+class Baseline:
+    """An occurrence-counted set of pinned finding fingerprints."""
+
+    def __init__(self, pinned: Counter[str] | None = None) -> None:
+        self.pinned: Counter[str] = Counter(pinned or ())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"{path}: not valid JSON ({error})") from error
+        if not isinstance(document, dict) or "findings" not in document:
+            raise BaselineError(f"{path}: expected an object with a 'findings' key")
+        findings = document["findings"]
+        if not isinstance(findings, dict) or not all(
+            isinstance(count, int) and count > 0 for count in findings.values()
+        ):
+            raise BaselineError(f"{path}: 'findings' must map fingerprints to positive counts")
+        return cls(Counter({str(k): int(v) for k, v in findings.items()}))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(finding.fingerprint() for finding in findings))
+
+    def write(self, path: Path) -> None:
+        document = {
+            "version": 1,
+            "comment": (
+                "Pinned legacy lint findings. Entries are rule::path::message "
+                "fingerprints; regenerate with `python -m repro.lint --write-baseline`."
+            ),
+            "findings": dict(sorted(self.pinned.items())),
+        }
+        path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+
+    def partition(self, findings: list[Finding], report: LintReport) -> None:
+        """Split ``findings`` into the report's ``new`` / ``baselined`` buckets.
+
+        Consumes baseline budget in file order; whatever budget remains
+        afterwards is recorded as stale entries.
+        """
+        budget = Counter(self.pinned)
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if budget[fingerprint] > 0:
+                budget[fingerprint] -= 1
+                report.baselined.append(finding)
+            else:
+                report.new.append(finding)
+        report.stale_baseline.extend(
+            fingerprint for fingerprint, count in budget.items() if count > 0
+        )
+
+
+__all__ = ["Baseline", "BaselineError"]

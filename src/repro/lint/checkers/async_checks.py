@@ -1,0 +1,146 @@
+"""ASYNC: event-loop hygiene for the live runtime.
+
+Four rules, active in any file that defines async code:
+
+``ASYNC-UNAWAITED``
+    A bare expression statement calling an ``async def`` defined in the
+    same file (module function or ``self.`` method) — the coroutine object
+    is created and garbage-collected without ever running.
+
+``ASYNC-TASK``
+    ``create_task(...)`` whose handle is discarded (a bare expression
+    statement).  The event loop keeps only a weak reference to tasks, so a
+    fire-and-forget task can be garbage-collected mid-flight; retain the
+    handle (as the link writer tasks do) or await it.
+
+``ASYNC-BLOCKING``
+    A call from the configured blocking list (``time.sleep``, sync socket
+    constructors, ``subprocess.run``, ...) inside an ``async def`` —
+    blocking the loop stalls every process of the live run at once.
+
+``ASYNC-GATHER``
+    ``await asyncio.gather(..., return_exceptions=True)`` as a bare
+    statement: the returned exceptions are silently discarded, so a task
+    that died of a real bug vanishes without a trace.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.checkers.base import BaseChecker, dotted_name
+from repro.lint.config import LintConfig
+
+
+class _AsyncDefCollector(ast.NodeVisitor):
+    """Names of every ``async def`` in the file (functions and methods)."""
+
+    def __init__(self) -> None:
+        self.functions: set[str] = set()
+        self.methods: set[str] = set()
+        self._class_depth = 0
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_depth += 1
+        self.generic_visit(node)
+        self._class_depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        if self._class_depth:
+            self.methods.add(node.name)
+        else:
+            self.functions.add(node.name)
+        self.generic_visit(node)
+
+
+class AsyncChecker(BaseChecker):
+    family = "ASYNC"
+
+    def __init__(self, config: LintConfig, module: str, path: str) -> None:
+        super().__init__(config, module, path)
+        self._async_depth = 0
+        self._local_async = _AsyncDefCollector()
+
+    def run(self, tree: ast.Module) -> list:
+        self._local_async.visit(tree)
+        return super().run(tree)
+
+    # -- visitors ------------------------------------------------------
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        self.generic_visit(node)
+        self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A sync def nested in an async def runs synchronously: blocking
+        # rules stop applying only because the call sites are what matter,
+        # but a coroutine created here is still unawaited.  Keep the depth.
+        self.generic_visit(node)
+
+    def _is_local_coroutine_call(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in self._local_async.functions:
+            return func.id
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in self._local_async.methods
+        ):
+            return f"self.{func.attr}"
+        return None
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            coroutine = self._is_local_coroutine_call(value)
+            if coroutine is not None:
+                self.report(
+                    node,
+                    "ASYNC-UNAWAITED",
+                    f"coroutine {coroutine}(...) is never awaited — the call builds"
+                    " a coroutine object and drops it",
+                )
+            func_name = dotted_name(value.func)
+            if func_name is not None and func_name.rsplit(".", 1)[-1] == "create_task":
+                self.report(
+                    node,
+                    "ASYNC-TASK",
+                    "create_task(...) without retaining the handle — the loop holds"
+                    " only a weak reference, so the task can be collected mid-flight",
+                )
+        if (
+            isinstance(value, ast.Await)
+            and isinstance(value.value, ast.Call)
+            and dotted_name(value.value.func) in {"asyncio.gather", "gather"}
+            and any(
+                kw.arg == "return_exceptions"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in value.value.keywords
+            )
+        ):
+            self.report(
+                node,
+                "ASYNC-GATHER",
+                "await asyncio.gather(..., return_exceptions=True) discards its"
+                " result — collected exceptions vanish silently; bind the result"
+                " and surface unexpected errors",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._async_depth:
+            name = dotted_name(node.func)
+            if name is not None and name in self.config.blocking_calls:
+                self.report(
+                    node,
+                    "ASYNC-BLOCKING",
+                    f"blocking call {name}() inside async def — it stalls the whole"
+                    " event loop; use the asyncio equivalent",
+                )
+        self.generic_visit(node)
+
+
+__all__ = ["AsyncChecker"]

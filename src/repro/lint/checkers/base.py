@@ -1,0 +1,67 @@
+"""Shared checker machinery: reporting, scope tests, AST helpers."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.config import LintConfig
+from repro.lint.model import Finding
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def statement_lines(node: ast.AST) -> tuple[int, ...]:
+    """Physical lines a node spans (for matching line suppressions)."""
+    start = getattr(node, "lineno", 0)
+    end = getattr(node, "end_lineno", None) or start
+    return tuple(range(start, end + 1))
+
+
+class BaseChecker(ast.NodeVisitor):
+    """A checker family run over one parsed file.
+
+    Subclasses define ``applies`` (whether the family has anything to say
+    about ``module``) and visit methods that call :meth:`report`.
+    """
+
+    #: Human name of the family, used in ``--list-rules``.
+    family = "BASE"
+
+    def __init__(self, config: LintConfig, module: str, path: str) -> None:
+        self.config = config
+        self.module = module
+        self.path = path
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies(cls, config: LintConfig, module: str) -> bool:
+        del config, module
+        return True
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self.visit(tree)
+        return self.findings
+
+
+__all__ = ["BaseChecker", "dotted_name", "statement_lines"]

@@ -1,0 +1,153 @@
+"""DET-SEED: unseeded randomness and wall-clock reads in protocol code.
+
+Three rules:
+
+``DET-SEED-GLOBAL``
+    A call through the module-level ``random`` API (``random.random()``,
+    ``random.choice()``, ...) or a ``from random import choice``-style
+    import of one of those functions.  The global RNG is process-wide
+    state no seed derivation controls.
+
+``DET-SEED-RANDOM``
+    ``random.Random(...)`` whose argument is not visibly derived from a
+    seed: sanctioned arguments contain a call to a configured seed source
+    (``derive_seed``) or reference a name containing ``seed``.
+
+``DET-SEED-CLOCK``
+    A wall-clock read (``time.time()``, ``time.monotonic()``,
+    ``datetime.now()``, ...) inside the clock-scoped packages.  Protocol
+    time comes from ``Runtime.now``; operational clock reads (heartbeats,
+    lease expiry) must be justified with a suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.checkers.base import BaseChecker, dotted_name
+from repro.lint.config import LintConfig
+
+GLOBAL_RANDOM_FUNCS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "getrandbits",
+    "randbytes",
+    "seed",
+    "betavariate",
+    "triangular",
+}
+
+CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+
+class DetSeedChecker(BaseChecker):
+    family = "DET-SEED"
+
+    @classmethod
+    def applies(cls, config: LintConfig, module: str) -> bool:
+        return config.in_trajectory_scope(module) or config.in_clock_scope(module)
+
+    def _seed_checks_apply(self) -> bool:
+        return self.config.in_trajectory_scope(self.module)
+
+    def _clock_checks_apply(self) -> bool:
+        return self.config.in_clock_scope(self.module)
+
+    # -- imports -------------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._seed_checks_apply() and node.module == "random" and node.level == 0:
+            for alias in node.names:
+                if alias.name in GLOBAL_RANDOM_FUNCS:
+                    self.report(
+                        node,
+                        "DET-SEED-GLOBAL",
+                        f"importing the module-level RNG function random.{alias.name}"
+                        " — use a random.Random instance fed from derive_seed",
+                    )
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+
+    def _argument_is_seeded(self, call: ast.Call) -> bool:
+        """True when some argument visibly originates from a seed."""
+        nodes = list(call.args) + [kw.value for kw in call.keywords]
+        for argument in nodes:
+            for sub in ast.walk(argument):
+                if isinstance(sub, ast.Call):
+                    name = dotted_name(sub.func)
+                    if name is not None and (
+                        name in self.config.seed_sources
+                        or name.rsplit(".", 1)[-1] in self.config.seed_sources
+                    ):
+                        return True
+                if isinstance(sub, ast.Name) and "seed" in sub.id.lower():
+                    return True
+                if isinstance(sub, ast.Attribute) and "seed" in sub.attr.lower():
+                    return True
+                if isinstance(sub, ast.arg) and "seed" in sub.arg.lower():
+                    return True
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            if self._seed_checks_apply():
+                if name.startswith("random.") and name.split(".", 1)[1] in GLOBAL_RANDOM_FUNCS:
+                    self.report(
+                        node,
+                        "DET-SEED-GLOBAL",
+                        f"call to the module-level RNG {name}()"
+                        " — use a random.Random instance fed from derive_seed",
+                    )
+                elif name in {"random.Random", "Random"}:
+                    if not node.args and not node.keywords:
+                        self.report(
+                            node,
+                            "DET-SEED-RANDOM",
+                            "random.Random() constructed without a seed"
+                            " — feed it from derive_seed(...)",
+                        )
+                    elif not self._argument_is_seeded(node):
+                        self.report(
+                            node,
+                            "DET-SEED-RANDOM",
+                            "random.Random(...) seeded from a value not visibly derived"
+                            " from a seed — route it through derive_seed(...)",
+                        )
+            if self._clock_checks_apply() and name in CLOCK_CALLS:
+                self.report(
+                    node,
+                    "DET-SEED-CLOCK",
+                    f"wall-clock read {name}() in deterministic scope"
+                    " — protocol time comes from Runtime.now; justify operational"
+                    " reads with a suppression",
+                )
+        self.generic_visit(node)
+
+
+__all__ = ["DetSeedChecker"]

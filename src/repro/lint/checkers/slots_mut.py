@@ -1,0 +1,125 @@
+"""SLOTS-MUT: mutable defaults and hot-path dataclass layout.
+
+``SLOTS-MUT-DEFAULT``
+    A mutable default argument (``def f(x=[])``, ``={}``, ``=set()``,
+    ``=list()`` ...): the default is evaluated once and shared by every
+    call, the classic aliasing bug.
+
+``SLOTS-MUT-SLOTS``
+    A dataclass from the configured hot-path list
+    (:data:`repro.lint.config.SLOTS_REQUIRED`) missing ``slots=True`` (or
+    an explicit ``__slots__``).  These classes are allocated per message or
+    per event; ``__dict__``-backed instances cost measurable memory and
+    attribute-lookup time at 10k-node scale.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.checkers.base import BaseChecker, dotted_name
+from repro.lint.config import LintConfig
+
+MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "collections.defaultdict",
+    "collections.deque",
+    "collections.OrderedDict",
+    "collections.Counter",
+    "defaultdict",
+    "deque",
+    "OrderedDict",
+    "Counter",
+}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _dataclass_has_slots(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call) and dotted_name(decorator.func) in {
+            "dataclass",
+            "dataclasses.dataclass",
+        }:
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__slots__"
+        ):
+            return True
+    return False
+
+
+class SlotsMutChecker(BaseChecker):
+    family = "SLOTS-MUT"
+
+    #: Fully-qualified names of configured hot classes seen by any run of
+    #: this checker family (class attribute: aggregated across files so the
+    #: runner can report configured classes that no longer exist).
+    def __init__(self, config: LintConfig, module: str, path: str) -> None:
+        super().__init__(config, module, path)
+        self.seen_required: set[str] = set()
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self.report(
+                    default,
+                    "SLOTS-MUT-DEFAULT",
+                    "mutable default argument is shared across calls — default to"
+                    " None (or a frozen value) and build the container inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualified = f"{self.module}.{node.name}"
+        if qualified in self.config.slots_required:
+            self.seen_required.add(qualified)
+            if not _dataclass_has_slots(node):
+                self.report(
+                    node,
+                    "SLOTS-MUT-SLOTS",
+                    f"hot-path dataclass {qualified} must declare slots=True"
+                    " (allocated per message/event; __dict__ instances are"
+                    " measurably slower at large n)",
+                )
+        self.generic_visit(node)
+
+
+__all__ = ["SlotsMutChecker"]

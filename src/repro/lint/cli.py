@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 — no new findings (baselined and suppressed findings are
+reported but do not fail); 1 — at least one new finding (or a stale
+baseline entry under ``--strict-baseline``); 2 — usage or baseline-file
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.config import DEFAULT_CONFIG
+from repro.lint.runner import lint_paths
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+RULE_CATALOG = """\
+DET-ORDER-SET     iteration over a set/frozenset without explicit ordering
+DET-ORDER-DICT    iteration over a dict/dict view (advisory, --strict-dict-order)
+DET-SEED-GLOBAL   module-level random.* call or import (process-wide RNG)
+DET-SEED-RANDOM   random.Random not visibly fed from derive_seed
+DET-SEED-CLOCK    wall-clock read (time.time, datetime.now, ...) in deterministic scope
+SEAM-IMPORT       import edge forbidden by the declared layering map
+ASYNC-UNAWAITED   local coroutine called but never awaited
+ASYNC-TASK        create_task(...) handle discarded (weakly-referenced task)
+ASYNC-BLOCKING    blocking call (time.sleep, sync sockets, ...) inside async def
+ASYNC-GATHER      gather(return_exceptions=True) result discarded
+SLOTS-MUT-DEFAULT mutable default argument
+SLOTS-MUT-SLOTS   configured hot-path dataclass missing slots=True
+LINT-SUPPRESS     suppression comment without a justification
+LINT-CONFIG       lint configuration references a class that no longer exists
+LINT-PARSE        file does not parse
+
+Suppressions:  # lint: allow[RULE] reason        (this line / this statement)
+               # lint: allow-file[RULE] reason   (whole file)
+A RULE matches codes equal to it or extending it with a dash
+(allow[DET-SEED] covers DET-SEED-CLOCK).
+"""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism-and-layering static analysis for the protocol stack.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(DEFAULT_BASELINE),
+        help=f"baseline file of pinned legacy findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="pin every current (unsuppressed) finding into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when the baseline pins findings that no longer occur",
+    )
+    parser.add_argument(
+        "--strict-dict-order",
+        action="store_true",
+        help="also flag dict/dict-view iteration in trajectory packages (advisory)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(RULE_CATALOG, end="")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.lint src)")
+
+    missing = [str(p) for p in args.paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    config = DEFAULT_CONFIG
+    if args.strict_dict_order:
+        from dataclasses import replace
+
+        config = replace(config, dict_iteration=True)
+
+    if args.no_baseline or args.write_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    report = lint_paths(list(args.paths), config, baseline)
+
+    if args.write_baseline:
+        Baseline.from_findings(report.new).write(args.baseline)
+        print(
+            f"pinned {len(report.new)} finding(s) into {args.baseline}"
+            f" ({len(report.suppressed)} suppressed finding(s) left in-source)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+
+    if report.new:
+        return 1
+    if args.strict_baseline and report.stale_baseline:
+        return 1
+    return 0
+
+
+__all__ = ["build_parser", "main"]

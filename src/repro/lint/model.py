@@ -1,0 +1,126 @@
+"""Finding and report data model shared by the checkers, runner and CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``rule`` is a stable machine-readable code (``DET-ORDER-SET``,
+    ``SEAM-IMPORT``, ...); codes never change meaning once released, so
+    suppressions and baselines stay valid across linter versions.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used by the baseline file.
+
+        Deliberately excludes the line/column: pinned legacy findings must
+        survive unrelated edits that shift code up or down the file.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(slots=True)
+class SuppressedFinding:
+    """A finding matched by an inline ``# lint: allow[RULE] reason`` comment."""
+
+    finding: Finding
+    reason: str
+
+    def to_dict(self) -> dict[str, Any]:
+        entry = self.finding.to_dict()
+        entry["suppressed_reason"] = self.reason
+        return entry
+
+
+def _sort_key(finding: Finding) -> tuple[str, int, int, str]:
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
+@dataclass(slots=True)
+class LintReport:
+    """The outcome of one lint run over a set of files.
+
+    ``new`` findings fail the run; ``baselined`` findings are pinned by the
+    committed baseline file (visible, counted, but not failing);
+    ``suppressed`` findings carry their in-source justification.
+    """
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[SuppressedFinding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Baseline fingerprints that no current finding matched: stale pins
+    #: that should be removed by regenerating the baseline.
+    stale_baseline: list[str] = field(default_factory=list)
+
+    def sort(self) -> None:
+        self.new.sort(key=_sort_key)
+        self.baselined.sort(key=_sort_key)
+        self.suppressed.sort(key=lambda s: _sort_key(s.finding))
+        self.stale_baseline.sort()
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def counts(self) -> dict[str, int]:
+        """Per-rule totals over every finding (new + baselined + suppressed)."""
+        totals: dict[str, int] = {}
+        for finding in self.new + self.baselined + [s.finding for s in self.suppressed]:
+            totals[finding.rule] = totals.get(finding.rule, 0) + 1
+        return dict(sorted(totals.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "counts": self.counts(),
+            "new": [f.to_dict() for f in self.new],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [s.to_dict() for s in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+    def render_text(self) -> str:
+        """Human-readable report: one line per finding plus a summary."""
+        lines: list[str] = []
+        for finding in self.new:
+            lines.append(finding.render())
+        for finding in self.baselined:
+            lines.append(f"{finding.render()} [baselined]")
+        for suppressed in self.suppressed:
+            lines.append(f"{suppressed.finding.render()} [allowed: {suppressed.reason}]")
+        for fingerprint in self.stale_baseline:
+            lines.append(f"stale baseline entry (regenerate with --write-baseline): {fingerprint}")
+        summary = (
+            f"{self.files_checked} file(s) checked: "
+            f"{len(self.new)} new finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed"
+        )
+        lines.append(summary)
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Inline suppression comments.
+
+Syntax (the reason is mandatory — a bare allow is itself a finding):
+
+``# lint: allow[RULE] reason``
+    Suppresses matching findings reported on this physical line, or on any
+    line of the multi-line statement that starts or ends here.
+
+``# lint: allow-file[RULE] reason``
+    Suppresses matching findings anywhere in the file.  For sanctioned
+    modules that sit on a seam by design (a whole-file property, not a
+    per-line one).
+
+``RULE`` matches a finding whose code equals it or starts with it plus a
+dash, so ``allow[DET-SEED]`` covers ``DET-SEED-CLOCK`` while
+``allow[DET-SEED-CLOCK]`` covers only the clock rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.model import Finding
+
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*(?P<form>allow-file|allow)\[(?P<rule>[A-Z][A-Z0-9-]*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    #: line number -> [(rule prefix, reason)]
+    by_line: dict[int, list[tuple[str, str]]] = field(default_factory=dict)
+    #: file-wide [(rule prefix, reason)]
+    file_wide: list[tuple[str, str]] = field(default_factory=list)
+    #: malformed directives (missing reason), reported as findings
+    malformed: list[Finding] = field(default_factory=list)
+
+    def match(self, rule: str, lines: tuple[int, ...]) -> str | None:
+        """Return the justification suppressing ``rule`` on ``lines``, if any."""
+        for pattern, reason in self.file_wide:
+            if _rule_matches(pattern, rule):
+                return reason
+        for line in lines:
+            for pattern, reason in self.by_line.get(line, ()):
+                if _rule_matches(pattern, rule):
+                    return reason
+        return None
+
+
+def _rule_matches(pattern: str, rule: str) -> bool:
+    return rule == pattern or rule.startswith(pattern + "-")
+
+
+def parse_suppressions(source: str, path: str) -> Suppressions:
+    """Extract every suppression directive from ``source``.
+
+    Uses the tokenizer (not a per-line regex) so directives inside string
+    literals are never mistaken for live suppressions.
+    """
+    suppressions = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse errors
+        return suppressions  # the runner reports the syntax error itself
+    for token in comments:
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        rule = match.group("rule")
+        reason = match.group("reason").strip()
+        line = token.start[0]
+        if not reason:
+            suppressions.malformed.append(
+                Finding(
+                    rule="LINT-SUPPRESS",
+                    path=path,
+                    line=line,
+                    col=token.start[1],
+                    message=(
+                        f"suppression of {rule} has no justification: "
+                        "write `# lint: allow[RULE] reason`"
+                    ),
+                )
+            )
+            continue
+        if match.group("form") == "allow-file":
+            suppressions.file_wide.append((rule, reason))
+        else:
+            suppressions.by_line.setdefault(line, []).append((rule, reason))
+    return suppressions
+
+
+__all__ = ["Suppressions", "parse_suppressions"]

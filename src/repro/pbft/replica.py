@@ -79,7 +79,7 @@ def _preprepare_payload(group: GroupKey, view: int, value: Any) -> tuple:
     return ("pre-prepare", tuple(sorted(group.members, key=repr)), view, value)
 
 
-@dataclass
+@dataclass(slots=True)
 class SingleShotPbft:
     """One consensus instance run by one (correct) member of the group."""
 

@@ -294,14 +294,22 @@ class AsyncioRuntime(Runtime):
                 link.queue.put_nowait(_CLOSE)
                 link_tasks.append(link.task)
         if link_tasks:
-            await asyncio.gather(*link_tasks, return_exceptions=True)
+            results = await asyncio.gather(*link_tasks, return_exceptions=True)
+            for result in results:
+                # A writer task that died of anything but our own cancellation
+                # is a real bug; surface it through the harness like handler
+                # exceptions instead of letting gather() swallow it.
+                if isinstance(result, BaseException) and not isinstance(
+                    result, asyncio.CancelledError
+                ):
+                    self.errors.append(result)
         for link in self._links.values():
             if link.writer is not None:
                 link.writer.close()
                 link.writer = None
         for server in self._servers:
             server.close()
-        await asyncio.gather(
+        await asyncio.gather(  # lint: allow[ASYNC-GATHER] best-effort teardown: wait_closed failures carry no protocol signal
             *(server.wait_closed() for server in self._servers), return_exceptions=True
         )
         self.stats.wall_seconds = (

@@ -21,7 +21,7 @@ from repro.core.seeding import derive_seed
 from repro.crypto.signatures import KeyRegistry
 from repro.graphs.knowledge_graph import ProcessId
 from repro.runtime.asyncio_runtime import AsyncioRuntime
-from repro.sim.network import PartialSynchronyModel
+from repro.sim.synchrony import PartialSynchronyModel
 from repro.sim.tracing import SimulationTrace
 
 

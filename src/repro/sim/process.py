@@ -85,7 +85,7 @@ class Process:
         if runtime is None:
             if simulator is None or network is None:
                 raise TypeError("Process needs either runtime= or a (simulator, network) pair")
-            from repro.runtime.sim import SimRuntime
+            from repro.runtime.sim import SimRuntime  # lint: allow[SEAM-IMPORT] legacy ctor bridge: deferred import keeps the module graph acyclic
 
             runtime = SimRuntime(simulator, network)
         self.process_id = process_id

@@ -28,7 +28,7 @@ from repro.core.config import ProtocolConfig, ProtocolMode
 from repro.graphs.figures import FigureScenario
 from repro.graphs.generators import GeneratedScenario
 from repro.graphs.knowledge_graph import ProcessId
-from repro.sim.network import PartialSynchronyModel, SynchronyModel
+from repro.sim.synchrony import PartialSynchronyModel, SynchronyModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.scenario import Scenario

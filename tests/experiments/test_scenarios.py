@@ -188,7 +188,7 @@ class TestScenarioMatrix:
         matrix = self.matrix()
         matrix.base_seed = 12
         reseeded = matrix.scenarios()
-        for before, after in zip(self.matrix().scenarios(), reseeded):
+        for before, after in zip(self.matrix().scenarios(), reseeded, strict=True):
             assert before.seed != after.seed
             assert before.name == after.name
 

@@ -1,0 +1,502 @@
+"""Fixture-driven tests: one bad and one good snippet per lint rule."""
+
+import textwrap
+from dataclasses import replace
+
+import pytest
+
+from repro.lint import DEFAULT_CONFIG, lint_file
+from repro.lint.runner import lint_paths, module_name
+
+
+def write_module(tmp_path, module, source):
+    """Materialise ``source`` as ``module`` inside a package tree."""
+    parts = module.split(".")
+    pkg = tmp_path
+    for part in parts[:-1]:
+        pkg = pkg / part
+        pkg.mkdir(exist_ok=True)
+        init = pkg / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    file = pkg / f"{parts[-1]}.py"
+    file.write_text(textwrap.dedent(source))
+    return file
+
+
+def lint_snippet(tmp_path, source, *, module="repro.core.snippet", config=DEFAULT_CONFIG):
+    file = write_module(tmp_path, module, source)
+    assert module_name(file) == module
+    return lint_file(file, config)
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestDetOrder:
+    def test_flags_iteration_over_set_typed_parameter(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            def fan_out(targets: frozenset[str]) -> list[str]:
+                out = []
+                for target in targets:
+                    out.append(target)
+                return out
+            """,
+        )
+        assert rules_of(active) == ["DET-ORDER-SET"]
+
+    def test_flags_set_literals_comprehensions_and_set_ops(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            def walk(a, b):
+                for x in {1, 2, 3}:
+                    pass
+                for y in set(a):
+                    pass
+                for z in set(a).union(b):
+                    pass
+                return [w for w in frozenset(b)]
+            """,
+        )
+        assert rules_of(active) == ["DET-ORDER-SET"] * 4
+
+    def test_sorted_and_rebound_names_are_clean(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            def fan_out(targets: frozenset[str]) -> None:
+                for target in sorted(targets, key=repr):
+                    pass
+                targets = sorted(targets)
+                for target in targets:
+                    pass
+            """,
+        )
+        assert active == []
+
+    def test_self_attribute_assigned_as_set_is_flagged(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            class Tracker:
+                def __init__(self):
+                    self.pending = set()
+
+                def drain(self):
+                    for item in self.pending:
+                        pass
+            """,
+        )
+        assert rules_of(active) == ["DET-ORDER-SET"]
+
+    def test_does_not_apply_outside_trajectory_packages(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            def fan_out(targets: frozenset[str]) -> None:
+                for target in targets:
+                    pass
+            """,
+            module="repro.lint.snippet",
+        )
+        assert active == []
+
+    def test_dict_iteration_only_with_strict_config(self, tmp_path):
+        source = """
+        def walk(mapping):
+            for key in mapping.keys():
+                pass
+        """
+        active, _ = lint_snippet(tmp_path, source)
+        assert active == []
+        strict = replace(DEFAULT_CONFIG, dict_iteration=True)
+        active, _ = lint_snippet(tmp_path, source, config=strict)
+        assert rules_of(active) == ["DET-ORDER-DICT"]
+
+
+class TestDetSeed:
+    def test_flags_module_level_random_calls_and_imports(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            import random
+            from random import choice
+
+            def pick(options):
+                return random.shuffle(options)
+            """,
+        )
+        assert rules_of(active) == ["DET-SEED-GLOBAL", "DET-SEED-GLOBAL"]
+
+    def test_flags_unseeded_and_unsanctioned_random_instances(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def build(run_index):
+                a = random.Random()
+                b = random.Random(run_index)
+                return a, b
+            """,
+        )
+        assert rules_of(active) == ["DET-SEED-RANDOM", "DET-SEED-RANDOM"]
+
+    def test_seeded_instances_are_clean(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def build(seed, cell):
+                a = random.Random(seed)
+                b = random.Random(derive_seed(cell, "network"))
+                return a, b
+            """,
+        )
+        assert active == []
+
+    def test_flags_clock_reads_in_scope_only(self, tmp_path):
+        source = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        active, _ = lint_snippet(tmp_path, source)
+        assert rules_of(active) == ["DET-SEED-CLOCK"]
+        active, _ = lint_snippet(tmp_path, source, module="repro.lint.snippet")
+        assert active == []
+
+    def test_experiments_scope_gets_clock_but_not_seed_rules(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            import random
+            import time
+
+            def jitter():
+                return random.random() + time.monotonic()
+            """,
+            module="repro.experiments.snippet",
+        )
+        assert rules_of(active) == ["DET-SEED-CLOCK"]
+
+
+class TestSeam:
+    def test_flags_forbidden_import_edge(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.engine import Simulator
+            """,
+        )
+        assert rules_of(active) == ["SEAM-IMPORT"]
+        assert "repro.sim.engine" in active[0].message
+
+    def test_relative_imports_are_resolved(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            from ..sim import engine
+            """,
+        )
+        assert rules_of(active) == ["SEAM-IMPORT"]
+
+    def test_type_checking_imports_are_exempt(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.sim.engine import Simulator
+            """,
+        )
+        assert active == []
+
+    def test_declared_adapter_modules_are_exempt(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.engine import Simulator
+            from repro.sim.network import Network
+            """,
+            module="repro.analysis.harness",
+        )
+        assert active == []
+
+    def test_one_finding_per_import_statement(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.network import Network, NetworkRule, WITHHOLD
+            """,
+        )
+        assert rules_of(active) == ["SEAM-IMPORT"]
+
+
+class TestAsync:
+    def test_flags_unawaited_local_coroutine(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            async def flush():
+                pass
+
+            async def run():
+                flush()
+            """,
+            module="repro.runtime.snippet",
+        )
+        assert rules_of(active) == ["ASYNC-UNAWAITED"]
+
+    def test_awaited_coroutine_is_clean(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            async def flush():
+                pass
+
+            async def run():
+                await flush()
+            """,
+            module="repro.runtime.snippet",
+        )
+        assert active == []
+
+    def test_flags_discarded_create_task_handle(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            import asyncio
+
+            async def run():
+                asyncio.create_task(worker())
+                task = asyncio.create_task(worker())
+                return task
+            """,
+            module="repro.runtime.snippet",
+        )
+        assert rules_of(active) == ["ASYNC-TASK"]
+
+    def test_flags_blocking_call_in_async_def_only(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def sync_wait():
+                time.sleep(1.0)
+
+            async def async_wait():
+                time.sleep(1.0)
+            """,
+            module="repro.runtime.snippet",
+        )
+        assert rules_of(active) == ["ASYNC-BLOCKING"]
+        assert active[0].message.startswith("blocking call time.sleep")
+
+    def test_flags_discarded_gather_with_return_exceptions(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            import asyncio
+
+            async def run(tasks):
+                await asyncio.gather(*tasks, return_exceptions=True)
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                return results
+            """,
+            module="repro.runtime.snippet",
+        )
+        assert rules_of(active) == ["ASYNC-GATHER"]
+
+
+class TestSlotsMut:
+    def test_flags_mutable_defaults(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            def build(items=[], index={}, pool=set(), queue=list()):
+                return items, index, pool, queue
+            """,
+            module="repro.runtime.snippet",
+        )
+        assert rules_of(active) == ["SLOTS-MUT-DEFAULT"] * 4
+
+    def test_none_default_is_clean(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            def build(items=None, name="x", count=0):
+                return items or []
+            """,
+            module="repro.runtime.snippet",
+        )
+        assert active == []
+
+    def test_flags_configured_dataclass_without_slots(self, tmp_path):
+        config = replace(
+            DEFAULT_CONFIG, slots_required=("repro.core.snippet.Hot",)
+        )
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Hot:
+                x: int
+            """,
+            config=config,
+        )
+        assert rules_of(active) == ["SLOTS-MUT-SLOTS"]
+
+    def test_slots_true_and_explicit_slots_are_clean(self, tmp_path):
+        config = replace(
+            DEFAULT_CONFIG,
+            slots_required=("repro.core.snippet.Hot", "repro.core.snippet.Cold"),
+        )
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class Hot:
+                x: int
+
+            class Cold:
+                __slots__ = ("y",)
+            """,
+            config=config,
+        )
+        assert active == []
+
+    def test_lint_config_reports_vanished_class(self, tmp_path):
+        config = replace(
+            DEFAULT_CONFIG, slots_required=("repro.core.snippet.Gone",)
+        )
+        file = write_module(
+            tmp_path,
+            "repro.core.snippet",
+            """
+            X = 1
+            """,
+        )
+        report = lint_paths([file], config)
+        assert rules_of(report.new) == ["LINT-CONFIG"]
+        assert "repro.core.snippet.Gone" in report.new[0].message
+
+
+class TestSuppressions:
+    def test_allow_comment_suppresses_with_reason(self, tmp_path):
+        active, suppressed = lint_snippet(
+            tmp_path,
+            """
+            def fan_out(targets: frozenset[str]) -> None:
+                for target in targets:  # lint: allow[DET-ORDER-SET] order-insensitive fan-out
+                    pass
+            """,
+        )
+        assert active == []
+        assert [s.finding.rule for s in suppressed] == ["DET-ORDER-SET"]
+        assert suppressed[0].reason == "order-insensitive fan-out"
+
+    def test_prefix_matching_covers_subrules(self, tmp_path):
+        active, suppressed = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()  # lint: allow[DET-SEED] operational timing
+            """,
+        )
+        assert active == []
+        assert [s.finding.rule for s in suppressed] == ["DET-SEED-CLOCK"]
+
+    def test_allow_file_covers_whole_file(self, tmp_path):
+        active, suppressed = lint_snippet(
+            tmp_path,
+            """
+            import time  # lint: allow-file[DET-SEED-CLOCK] operational timing everywhere
+
+            def one():
+                return time.time()
+
+            def two():
+                return time.monotonic()
+            """,
+        )
+        assert active == []
+        assert len(suppressed) == 2
+
+    def test_suppression_without_reason_is_a_finding(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            def fan_out(targets: frozenset[str]) -> None:
+                for target in targets:  # lint: allow[DET-ORDER-SET]
+                    pass
+            """,
+        )
+        assert sorted(rules_of(active)) == ["DET-ORDER-SET", "LINT-SUPPRESS"]
+
+    def test_unrelated_rule_does_not_suppress(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            def fan_out(targets: frozenset[str]) -> None:
+                for target in targets:  # lint: allow[SEAM-IMPORT] wrong rule
+                    pass
+            """,
+        )
+        assert rules_of(active) == ["DET-ORDER-SET"]
+
+    def test_multiline_statement_suppressed_from_any_line(self, tmp_path):
+        active, suppressed = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.network import (
+                Network,
+            )  # lint: allow[SEAM-IMPORT] adapter under construction
+            """,
+        )
+        assert active == []
+        assert [s.finding.rule for s in suppressed] == ["SEAM-IMPORT"]
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            def broken(:
+            """,
+        )
+        assert rules_of(active) == ["LINT-PARSE"]
+
+
+@pytest.mark.parametrize(
+    "path_parts,expected",
+    [
+        (("repro", "core", "node.py"), "repro.core.node"),
+        (("repro", "sim", "__init__.py"), "repro.sim"),
+        (("loose.py",), "loose"),
+    ],
+)
+def test_module_name_resolution(tmp_path, path_parts, expected):
+    file = tmp_path.joinpath(*path_parts)
+    file.parent.mkdir(parents=True, exist_ok=True)
+    current = file.parent
+    while current != tmp_path:
+        (current / "__init__.py").touch()
+        current = current.parent
+    file.write_text("")
+    assert module_name(file) == expected
