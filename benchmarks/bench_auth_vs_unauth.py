@@ -19,7 +19,7 @@ from repro.baselines import (
     run_authenticated_sink_discovery,
     run_unauthenticated_sink_discovery,
 )
-from repro.experiments import GraphSpec, Scenario, SuiteRunner
+from repro.experiments import GraphSpec, Scenario, SuiteRunner, executor_identity
 
 WORKLOADS = {
     "fig1b": GraphSpec.figure("fig1b"),
@@ -28,6 +28,7 @@ WORKLOADS = {
 }
 
 
+@executor_identity("1")
 def discovery_executor(scenario: Scenario) -> dict:
     """Run both discovery variants on the scenario's graph; report both."""
     built = scenario.graph.build()

@@ -14,12 +14,13 @@ every other benchmark.
 
 from repro.analysis.tables import render_table
 from repro.core import ProtocolMode
-from repro.experiments import GraphSpec, Scenario, SuiteRunner
+from repro.experiments import GraphSpec, Scenario, SuiteRunner, executor_identity
 from repro.workloads.builders import scenario_run_config
 
 BEHAVIOURS = ("silent", "lying_pd", "wrong_value")
 
 
+@executor_identity("1")
 def fig1_executor(scenario: Scenario) -> dict:
     """Default summary, extended with the identification details Fig. 1 discusses."""
     from repro.analysis.harness import run_consensus

@@ -10,9 +10,10 @@ exports ``BENCH_fig2_impossibility.json``.
 """
 
 from repro.analysis.impossibility import describe, run_impossibility_experiment
-from repro.experiments import GraphSpec, Scenario, SuiteRunner
+from repro.experiments import GraphSpec, Scenario, SuiteRunner, executor_identity
 
 
+@executor_identity("1")
 def impossibility_executor(scenario: Scenario) -> dict:
     """Run the three-execution argument; summarise its verdicts."""
     outcome = run_impossibility_experiment(seed=scenario.seed)

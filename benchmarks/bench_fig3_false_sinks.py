@@ -14,7 +14,7 @@ axis label), and the suite is exported as ``BENCH_fig3_false_sinks.json``.
 
 from repro.analysis.tables import render_table
 from repro.core import ProtocolMode
-from repro.experiments import GraphSpec, Scenario, SuiteRunner, execute_scenario
+from repro.experiments import GraphSpec, Scenario, SuiteRunner, execute_scenario, executor_identity
 from repro.graphs.figures import figure_3a
 from repro.graphs.predicates import KnowledgeView, is_sink_gdi
 
@@ -31,6 +31,7 @@ def _observation_instances() -> tuple[bool, bool]:
     return is_sink_gdi(view, 2, s1, s2), is_sink_gdi(view, 1, s1, s2)
 
 
+@executor_identity("1")
 def fig3_executor(scenario: Scenario) -> dict:
     """Dispatch on the ``harness`` axis: predicate instances vs full run."""
     if scenario.label("harness") == "predicates":

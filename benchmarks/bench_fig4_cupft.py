@@ -8,7 +8,7 @@ estimate and the consensus outcome — as one six-cell suite exported to
 
 from repro.analysis.tables import render_table
 from repro.core import ProtocolMode
-from repro.experiments import GraphSpec, Scenario, SuiteRunner
+from repro.experiments import GraphSpec, Scenario, SuiteRunner, executor_identity
 from repro.graphs.figures import paper_figures
 from repro.workloads.builders import scenario_run_config
 
@@ -16,6 +16,7 @@ FIGURES = ("fig4a", "fig4b")
 BEHAVIOURS = ("silent", "lying_pd", "wrong_value")
 
 
+@executor_identity("1")
 def fig4_executor(scenario: Scenario) -> dict:
     """Default summary, extended with core identification and f estimates."""
     from repro.analysis.harness import run_consensus

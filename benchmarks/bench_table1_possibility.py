@@ -9,9 +9,10 @@ full matrix evaluation and exports ``BENCH_table1_possibility.json``.
 
 from repro.analysis.table1 import COMMUNICATION_MODELS, KNOWLEDGE_MODELS, run_cell
 from repro.analysis.tables import render_table
-from repro.experiments import GraphSpec, Scenario, SuiteRunner
+from repro.experiments import GraphSpec, Scenario, SuiteRunner, executor_identity
 
 
+@executor_identity("1")
 def table1_executor(scenario: Scenario) -> dict:
     """Run one Table I cell and summarise the measured-vs-paper verdict."""
     cell = run_cell(

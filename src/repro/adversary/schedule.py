@@ -43,19 +43,13 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
-from typing import Any, Union
+from typing import TYPE_CHECKING, Any, Union
 
 from repro.graphs.knowledge_graph import ProcessId
-from repro.sim.messages import Envelope
-from repro.sim.network import (
-    WITHHOLD,
-    Network,
-    NetworkRule,
-    PartialSynchronyModel,
-    SynchronousModel,
-    SynchronyModel,
-    _Withhold,
-)
+from repro.sim.synchrony import PartialSynchronyModel, SynchronousModel, SynchronyModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import Network, NetworkRule
 
 #: Symbolic target sets, resolved against the run's membership at install
 #: time: every registered process, the declared-faulty set, or its
@@ -237,8 +231,12 @@ class DelayRule:
 
     def compile(
         self, *, processes: frozenset[ProcessId], faulty: frozenset[ProcessId]
-    ) -> NetworkRule:
-        return _CompiledDelayRule(self, processes=processes, faulty=faulty)
+    ) -> "NetworkRule":
+        # Deferred: the compiled form binds to the Network rule engine, so
+        # it lives on the runtime seam, not in this plain-data module.
+        from repro.runtime.sim import compile_delay_rule
+
+        return compile_delay_rule(self, processes=processes, faulty=faulty)
 
 
 @dataclass(frozen=True)
@@ -318,9 +316,11 @@ class PartitionRule:
 
     def compile(
         self, *, processes: frozenset[ProcessId], faulty: frozenset[ProcessId]
-    ) -> NetworkRule:
+    ) -> "NetworkRule":
         del processes, faulty
-        return _CompiledPartitionRule(self)
+        from repro.runtime.sim import compile_partition_rule
+
+        return compile_partition_rule(self)
 
 
 @dataclass(frozen=True)
@@ -376,58 +376,6 @@ _RULE_KINDS: dict[str, type] = {
     "partition": PartitionRule,
     "crash": CrashRule,
 }
-
-
-class _CompiledDelayRule(NetworkRule):
-    """A :class:`DelayRule` bound to a concrete membership."""
-
-    def __init__(
-        self,
-        rule: DelayRule,
-        *,
-        processes: frozenset[ProcessId],
-        faulty: frozenset[ProcessId],
-    ) -> None:
-        self.name = rule.rule_name
-        self._rule = rule
-        self._src = _resolve_targets(rule.src, processes, faulty)
-        self._dst = _resolve_targets(rule.dst, processes, faulty)
-
-    def decide(self, envelope: Envelope, *, now: float) -> float | _Withhold | None:
-        rule = self._rule
-        if not rule.t_from <= now < rule.t_to:
-            return None
-        if envelope.sender not in self._src or envelope.receiver not in self._dst:
-            return None
-        if rule.withholds:
-            return WITHHOLD
-        if rule.until is not None:
-            return max(rule.until - now, 0.0)
-        return rule.delay
-
-
-class _CompiledPartitionRule(NetworkRule):
-    """A :class:`PartitionRule` with its group lookup precomputed."""
-
-    def __init__(self, rule: PartitionRule) -> None:
-        self.name = rule.rule_name
-        self._rule = rule
-        self._group_of: dict[ProcessId, int] = {}
-        for index, group in enumerate(rule.groups):
-            for member in group:
-                self._group_of[member] = index
-
-    def decide(self, envelope: Envelope, *, now: float) -> float | _Withhold | None:
-        rule = self._rule
-        if not rule.t_from <= now < rule.t_to:
-            return None
-        sender_group = self._group_of.get(envelope.sender)
-        receiver_group = self._group_of.get(envelope.receiver)
-        if sender_group is None or receiver_group is None or sender_group == receiver_group:
-            return None
-        if math.isinf(rule.t_to):
-            return WITHHOLD
-        return (rule.t_to - now) + rule.heal_delay
 
 
 @dataclass(frozen=True)
@@ -567,27 +515,19 @@ class NetworkSchedule:
     # ------------------------------------------------------------------
     # compilation
     # ------------------------------------------------------------------
-    def install(self, network: Network) -> None:
+    def install(self, network: "Network") -> None:
         """Validate against the network's model, then compile onto it.
 
         Message rules become ordered :class:`~repro.sim.network.NetworkRule`
         instances (their names show up in trace drop/delay reasons); crash
         rules become simulator events.  Call after every process has been
         registered, so symbolic targets resolve against the full membership.
+        Delegates to :func:`repro.runtime.sim.install_schedule` — the
+        schedule itself stays plain data with no transport coupling.
         """
-        self.validate(network.model, processes=network.process_ids, faulty=network.faulty)
-        for rule in self.rules:
-            if isinstance(rule, CrashRule):
-                delay = max(rule.at - network.simulator.now, 0.0)
-                network.simulator.schedule(
-                    delay,
-                    lambda process=rule.process: network.crash(process),
-                    label=f"schedule rule {rule.rule_name}",
-                )
-            else:
-                network.add_rule(
-                    rule.compile(processes=network.process_ids, faulty=network.faulty)
-                )
+        from repro.runtime.sim import install_schedule
+
+        install_schedule(self, network)
 
     # ------------------------------------------------------------------
     # codec

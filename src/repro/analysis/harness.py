@@ -25,13 +25,14 @@ from repro.core.node import ConsensusNode
 from repro.core.seeding import derive_seed
 from repro.crypto.signatures import KeyRegistry
 from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
-from repro.sim.engine import Simulator
-from repro.sim.network import Network, PartialSynchronyModel, SynchronyModel
 from repro.sim.process import Process
+from repro.sim.synchrony import SynchronyModel
 from repro.sim.tracing import SimulationTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.base import Runtime
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
 
 
 @dataclass
@@ -194,8 +195,8 @@ def build_protocol_nodes(
 
 def build_nodes(
     config: RunConfig,
-    simulator: Simulator,
-    network: Network,
+    simulator: "Simulator",
+    network: "Network",
     registry: KeyRegistry,
     trace: SimulationTrace,
 ) -> dict[ProcessId, Process]:
@@ -207,31 +208,32 @@ def build_nodes(
 
 def run_consensus(config: RunConfig) -> RunResult:
     """Simulate one execution and evaluate the consensus properties."""
-    simulator = Simulator(
-        max_time=config.horizon,
-        max_events=config.max_events,
-        compaction_min_queue=config.compaction_min_queue,
-    )
+    # Deferred: repro.runtime.fidelity imports this module, so a module-level
+    # runtime import would be circular.
+    from repro.runtime.sim import build_sim_runtime
+
     trace = SimulationTrace()
-    synchrony = config.synchrony if config.synchrony is not None else PartialSynchronyModel()
     # Independent substreams: the network delay draws and the key material
     # must not share a raw seed, otherwise changing how many keys are
     # generated (or the key derivation itself) silently reshuffles the
     # network schedule of every experiment.
-    network = Network(
-        simulator,
-        synchrony,
+    runtime = build_sim_runtime(
+        max_time=config.horizon,
+        max_events=config.max_events,
+        compaction_min_queue=config.compaction_min_queue,
+        synchrony=config.synchrony,
         trace=trace,
-        seed=derive_seed(config.seed, "network"),
+        network_seed=derive_seed(config.seed, "network"),
         faulty=frozenset(config.faulty),
     )
+    simulator = runtime.simulator
     registry = KeyRegistry(seed=derive_seed(config.seed, "keys"))
-    nodes = build_nodes(config, simulator, network, registry, trace)
+    nodes = build_protocol_nodes(config, runtime, registry, trace)
     if config.schedule is not None:
         # Installed after registration so symbolic rule targets ("*",
         # "correct", "faulty") resolve against the full membership; the
         # schedule validates itself against the synchrony model here.
-        config.schedule.install(network)
+        config.schedule.install(runtime.network)
 
     correct = frozenset(config.graph.processes - set(config.faulty))
     participants = (

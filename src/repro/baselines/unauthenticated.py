@@ -26,10 +26,10 @@ from repro.crypto.signatures import KeyRegistry
 from repro.graphs.knowledge_graph import KnowledgeGraph, ProcessId
 from repro.graphs.predicates import KnowledgeView
 from repro.graphs.sink_search import SearchOptions, find_sink_with_fault_threshold
-from repro.sim.engine import Simulator
-from repro.sim.network import Network
-from repro.sim.synchrony import PartialSynchronyModel
+from repro.runtime.base import Runtime
+from repro.runtime.sim import SimRuntime, build_sim_runtime
 from repro.sim.process import Process
+from repro.sim.synchrony import SynchronyModel
 from repro.sim.tracing import SimulationTrace
 
 
@@ -47,19 +47,18 @@ class UnauthenticatedDiscoveryNode(Process):
         self,
         process_id: ProcessId,
         participant_detector: frozenset[ProcessId],
-        simulator: Simulator,
-        network: Network,
+        runtime: Runtime,
         fault_threshold: int,
         *,
         flood_period: float = 5.0,
         search: SearchOptions | None = None,
         trace: SimulationTrace | None = None,
     ) -> None:
-        super().__init__(process_id, participant_detector, simulator, network)
+        super().__init__(process_id, participant_detector, runtime=runtime)
         self.fault_threshold = fault_threshold
         self.flood_period = flood_period
         self.search = search or SearchOptions()
-        self.trace = trace if trace is not None else network.trace
+        self.trace = trace if trace is not None else getattr(runtime, "trace", SimulationTrace())
 
         self.tracker = DisjointPathTracker(receiver=process_id)
         #: Accepted participant detectors (delivered by reachable broadcast).
@@ -170,7 +169,7 @@ def _outcome(
     nodes: dict[ProcessId, Any],
     correct: frozenset[ProcessId],
     trace: SimulationTrace,
-    simulator: Simulator,
+    virtual_duration: float,
 ) -> SinkDiscoveryOutcome:
     identified = {}
     times = {}
@@ -186,7 +185,22 @@ def _outcome(
         messages_sent=trace.messages_sent,
         all_correct_identified=set(identified) == set(correct),
         agreement_on_members=len(set(identified.values())) <= 1,
-        virtual_duration=simulator.now,
+        virtual_duration=virtual_duration,
+    )
+
+
+def _discovery_runtime(
+    horizon: float,
+    synchrony: SynchronyModel | None,
+    trace: SimulationTrace,
+    seed: int,
+    faulty: frozenset[ProcessId],
+) -> SimRuntime:
+    # The baseline runs historically seeded the network with the *raw* run
+    # seed (no substream derivation); the factory takes the seed verbatim,
+    # so every recorded trajectory is preserved.
+    return build_sim_runtime(
+        max_time=horizon, synchrony=synchrony, trace=trace, network_seed=seed, faulty=faulty
     )
 
 
@@ -200,15 +214,14 @@ def run_unauthenticated_sink_discovery(
     synchrony=None,
 ) -> SinkDiscoveryOutcome:
     """Run the unauthenticated (flooding) discovery until every correct process finds the sink."""
-    simulator = Simulator(max_time=horizon)
     trace = SimulationTrace()
-    network = Network(simulator, synchrony or PartialSynchronyModel(), trace=trace, seed=seed, faulty=faulty)
+    runtime = _discovery_runtime(horizon, synchrony, trace, seed, faulty)
     correct = frozenset(graph.processes - faulty)
     nodes: dict[ProcessId, Process] = {}
     for process_id in sorted(graph.processes, key=repr):
         pd = graph.participant_detector(process_id)
         node = UnauthenticatedDiscoveryNode(
-            process_id, pd, simulator, network, fault_threshold, trace=trace
+            process_id, pd, runtime, fault_threshold, trace=trace
         )
         nodes[process_id] = node
     for process_id in sorted(correct, key=repr):
@@ -217,8 +230,8 @@ def run_unauthenticated_sink_discovery(
     def done() -> bool:
         return all(nodes[p].identified_members is not None for p in correct)
 
-    simulator.run(until=done)
-    return _outcome(nodes, correct, trace, simulator)
+    runtime.simulator.run(until=done)
+    return _outcome(nodes, correct, trace, runtime.now)
 
 
 def run_authenticated_sink_discovery(
@@ -238,9 +251,8 @@ def run_authenticated_sink_discovery(
     """
     from repro.core.node import ConsensusNode
 
-    simulator = Simulator(max_time=horizon)
     trace = SimulationTrace()
-    network = Network(simulator, synchrony or PartialSynchronyModel(), trace=trace, seed=seed, faulty=faulty)
+    runtime = _discovery_runtime(horizon, synchrony, trace, seed, faulty)
     registry = KeyRegistry(seed=seed)
     correct = frozenset(graph.processes - faulty)
     protocol = ProtocolConfig.bft_cup(fault_threshold)
@@ -249,13 +261,12 @@ def run_authenticated_sink_discovery(
         pd = graph.participant_detector(process_id)
         if process_id in faulty:
             # The baseline comparison uses silent Byzantine processes.
-            nodes[process_id] = Process(process_id, pd, simulator, network)
+            nodes[process_id] = Process(process_id, pd, runtime=runtime)
             continue
         nodes[process_id] = ConsensusNode(
             process_id=process_id,
             participant_detector=pd,
-            simulator=simulator,
-            network=network,
+            runtime=runtime,
             registry=registry,
             key=registry.generate(process_id),
             config=protocol,
@@ -267,5 +278,5 @@ def run_authenticated_sink_discovery(
     def done() -> bool:
         return all(nodes[p].identified_members is not None for p in correct)
 
-    simulator.run(until=done)
-    return _outcome(nodes, correct, trace, simulator)
+    runtime.simulator.run(until=done)
+    return _outcome(nodes, correct, trace, runtime.now)

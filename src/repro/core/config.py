@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.graphs.sink_search import SearchOptions
 from repro.pbft.replica import PbftConfig
@@ -67,11 +68,11 @@ class ProtocolConfig:
         self.pbft.quorum_rule = self.quorum_rule.value
 
     @classmethod
-    def bft_cup(cls, fault_threshold: int, **kwargs) -> "ProtocolConfig":
+    def bft_cup(cls, fault_threshold: int, **kwargs: Any) -> "ProtocolConfig":
         """Convenience constructor for the known-fault-threshold mode."""
         return cls(mode=ProtocolMode.BFT_CUP, fault_threshold=fault_threshold, **kwargs)
 
     @classmethod
-    def bft_cupft(cls, **kwargs) -> "ProtocolConfig":
+    def bft_cupft(cls, **kwargs: Any) -> "ProtocolConfig":
         """Convenience constructor for the unknown-fault-threshold mode."""
         return cls(mode=ProtocolMode.BFT_CUPFT, fault_threshold=None, **kwargs)

@@ -20,6 +20,10 @@
   (``--queue DIR``) or a TCP queue server (``--connect HOST:PORT``);
 * :mod:`repro.experiments.queue_server` -- the ``python -m
   repro.experiments.queue_server`` CLI serving a queue directory over TCP;
+* :mod:`repro.experiments.lake` -- the content-addressable
+  :class:`ResultStore` behind ``SuiteRunner.run(..., store=...)``: a
+  digest-keyed cell cache shared across sweeps, backends and remote
+  workers, plus the per-commit bench trajectory history;
 * :mod:`repro.experiments.regression` -- benchmark-trajectory comparison
   against committed ``BENCH_*.json`` baselines (the CI regression gate);
 * :mod:`repro.experiments.results` -- :class:`SuiteResult` aggregation
@@ -46,6 +50,12 @@ from repro.experiments.backends import (
     execute_cell,
 )
 from repro.experiments.cache import GraphAnalysis, GraphAnalysisCache, analyze_graph
+from repro.experiments.lake import (
+    ResultStore,
+    executor_digest_of,
+    executor_identity,
+    result_key,
+)
 from repro.experiments.results import GroupStats, ScenarioOutcome, SuiteResult
 from repro.experiments.runner import SuiteExecutionError, SuiteRunner, execute_scenario
 from repro.adversary.schedule import (
@@ -93,6 +103,10 @@ __all__ = [
     "RemoteQueueError",
     "RemoteWorkQueueBackend",
     "OutcomeStore",
+    "ResultStore",
+    "executor_identity",
+    "executor_digest_of",
+    "result_key",
     "ScenarioOutcome",
     "GroupStats",
     "SuiteResult",

@@ -50,6 +50,7 @@ from typing import Any
 
 from repro.experiments.backends.base import CellResult, CellTask, Executor
 from repro.experiments.backends.store import encode_record_line, parse_record_line
+from repro.experiments.lake import ResultStore, executor_digest_of, result_key
 
 #: Separator between digest and worker id in claimed-job filenames.  Safe
 #: because digests are hex and worker ids are sanitised.
@@ -113,6 +114,9 @@ class Job:
     scenario: dict[str, Any]
     executor: str
     claim_path: Path
+    #: Result-lake key for this (cell, executor) pair; ``None`` when the
+    #: sweep runs without a store or the executor declares no cache identity.
+    result_key: str | None = None
 
 
 class WorkQueue:
@@ -129,11 +133,18 @@ class WorkQueue:
             directory.mkdir(parents=True, exist_ok=True)
 
     # Coordinator side ------------------------------------------------------
-    def enqueue(self, cells: Sequence[CellTask], executor_ref: str) -> dict[str, list[int]]:
+    def enqueue(
+        self,
+        cells: Sequence[CellTask],
+        executor_ref: str,
+        result_keys: dict[str, str] | None = None,
+    ) -> dict[str, list[int]]:
         """Write one job file per cell not already queued, claimed or done.
 
         Returns the digest -> suite indexes mapping the collector needs to
-        stitch outcomes back (duplicate scenarios share one job).
+        stitch outcomes back (duplicate scenarios share one job).  With
+        ``result_keys`` (digest -> lake key), each job carries its key so
+        workers can consult/feed the result lake.
         """
         index_of: dict[str, list[int]] = {}
         for index, scenario in cells:
@@ -149,6 +160,8 @@ class WorkQueue:
                 "scenario": scenario.to_dict(),
                 "executor": executor_ref,
             }
+            if result_keys and digest in result_keys:
+                job["result_key"] = result_keys[digest]
             staging = self.pending / f".{digest}.tmp"
             staging.write_text(json.dumps(job, indent=2) + "\n")
             staging.replace(self.pending / f"{digest}.json")
@@ -258,12 +271,14 @@ class WorkQueue:
                 continue  # another worker won the rename race
             try:
                 job = json.loads(claim_path.read_text())
+                key = job.get("result_key")
                 return Job(
                     digest=job["digest"],
                     index=int(job.get("index", -1)),
                     scenario=job["scenario"],
                     executor=job["executor"],
                     claim_path=claim_path,
+                    result_key=key if isinstance(key, str) else None,
                 )
             except (json.JSONDecodeError, KeyError, TypeError, OSError):
                 # Corrupt job file: report it as a failed cell (keyed by the
@@ -349,6 +364,13 @@ class WorkQueueBackend:
         on an idle queue.
     timeout:
         Optional overall deadline in seconds for the sweep.
+    store:
+        Optional :class:`~repro.experiments.lake.ResultStore` (or its root
+        path).  When set — and the executor declares a cache identity —
+        every enqueued job carries its result key, and workers consult/feed
+        the lake themselves: spawned directory-mode workers are handed
+        ``--lake``, and the TCP transport serves the store through the
+        queue server.
     """
 
     name = "work-queue"
@@ -362,6 +384,7 @@ class WorkQueueBackend:
         lease: float = 60.0,
         idle_timeout: float = 10.0,
         timeout: float | None = None,
+        store: ResultStore | str | Path | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -371,6 +394,9 @@ class WorkQueueBackend:
         self.lease = lease
         self.idle_timeout = idle_timeout
         self.timeout = timeout
+        self.store = (
+            store if store is None or isinstance(store, ResultStore) else ResultStore(store)
+        )
         #: The worker processes spawned by the current execute() call, exposed
         #: so harnesses (e.g. the CI chaos smoke) can kill one mid-sweep.
         self.procs: list[subprocess.Popen[bytes]] = []
@@ -382,7 +408,15 @@ class WorkQueueBackend:
     def execute(self, cells: Sequence[CellTask], executor: Executor) -> Iterator[CellResult]:
         queue = WorkQueue(self.root)
         reference = executor_reference(executor)
-        index_of = queue.enqueue(cells, reference)
+        result_keys: dict[str, str] | None = None
+        if self.store is not None:
+            exec_digest = executor_digest_of(executor)
+            if exec_digest is not None:
+                result_keys = {
+                    scenario.cell_digest(): result_key(scenario.cell_digest(), exec_digest)
+                    for _index, scenario in cells
+                }
+        index_of = queue.enqueue(cells, reference, result_keys)
         outstanding = set(index_of)
         offsets: dict[str, int] = {}
 
@@ -476,7 +510,7 @@ class WorkQueueBackend:
 
     def _worker_command(self, queue: WorkQueue, worker_id: str) -> list[str]:
         """The argv used to spawn one local worker process."""
-        return [
+        command = [
             sys.executable,
             "-m",
             "repro.experiments.worker",
@@ -491,6 +525,11 @@ class WorkQueueBackend:
             "--idle-timeout",
             str(self.idle_timeout),
         ]
+        if self.store is not None:
+            # Directory-mode workers share the coordinator's filesystem, so
+            # they can open the lake directly.
+            command.extend(["--lake", str(self.store.root)])
+        return command
 
     # Local worker processes -------------------------------------------------
     def _spawn(self, queue: WorkQueue, number: int) -> "subprocess.Popen[bytes]":

@@ -52,6 +52,7 @@ from repro.experiments.backends.queue import (
     resolve_executor,
     sanitize_worker_id,
 )
+from repro.experiments.lake import ResultStore
 from repro.experiments.backends.transport import (
     MAX_FRAME_BYTES,
     TransportError,
@@ -104,6 +105,10 @@ class QueueServer:
         When ``reclaim_interval`` is set (the standalone CLI does this), a
         background thread reclaims expired claims every interval; embedded
         servers leave reclamation to the coordinator's collect loop.
+    store:
+        Optional :class:`~repro.experiments.lake.ResultStore` served to
+        workers through the ``lake-get`` / ``lake-put`` ops, so a TCP fleet
+        without filesystem access to the lake still shares cache hits.
     """
 
     def __init__(
@@ -115,8 +120,10 @@ class QueueServer:
         lease: float = 60.0,
         reclaim_interval: float | None = None,
         max_frame: int = MAX_FRAME_BYTES,
+        store: ResultStore | str | Path | None = None,
     ) -> None:
         self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        self.store = store if store is None or isinstance(store, ResultStore) else ResultStore(store)
         self._bind_host = host
         self._bind_port = port
         self.lease = lease
@@ -288,6 +295,7 @@ class QueueServer:
                         "index": job.index,
                         "scenario": job.scenario,
                         "executor": job.executor,
+                        "result_key": job.result_key,
                     }
                 if isinstance(token, str):
                     self._claim_replies[key] = (token, reply)
@@ -304,6 +312,21 @@ class QueueServer:
             return {"ok": True}
         if op == "snapshot":
             return {"ok": True, "snapshot": self.queue.snapshot()}
+        if op == "lake-get":
+            key = request.get("key")
+            if self.store is None or not isinstance(key, str):
+                return {"ok": True, "payload": None}
+            with self._queue_lock:
+                payload = self.store.get(key)
+            return {"ok": True, "payload": payload if isinstance(payload, dict) else None}
+        if op == "lake-put":
+            key = request.get("key")
+            payload = request.get("payload")
+            if self.store is None or not isinstance(key, str) or not isinstance(payload, dict):
+                return {"ok": True, "stored": False}
+            with self._queue_lock:
+                stored = self.store.put(key, payload)
+            return {"ok": True, "stored": stored is not None}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     def _apply_report(self, worker: str, request: dict[str, Any]) -> dict[str, Any]:
@@ -508,6 +531,17 @@ class RemoteQueueClient:
         reply = self.call({"op": "snapshot"})
         return dict(reply.get("snapshot") or {})
 
+    def lake_get(self, key: str) -> dict[str, Any] | None:
+        """Fetch a result-lake payload from the server; ``None`` on miss."""
+        reply = self.call({"op": "lake-get", "worker": self.worker_id, "key": key})
+        payload = reply.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def lake_put(self, key: str, payload: dict[str, Any]) -> bool:
+        """Store a freshly computed outcome in the server's result lake."""
+        reply = self.call({"op": "lake-put", "worker": self.worker_id, "key": key, "payload": payload})
+        return bool(reply.get("stored"))
+
 
 # ---------------------------------------------------------------------------
 # Worker drain loop (the --connect mode of python -m repro.experiments.worker)
@@ -533,6 +567,12 @@ def drain_remote(
     outcome to the coordinator the moment it exists.  A background thread
     heartbeats through the same connection so long cells are not reclaimed
     from a live worker.
+
+    Jobs carrying a ``result_key`` consult the server's result lake first
+    (``lake-get``): a hit journals the stored summary — with its recorded
+    wall time, so the outcome is bit-identical to the original computation
+    — without executing the cell, and a fresh success is offered back
+    (``lake-put``, best-effort) so the whole fleet shares it.
     """
     from repro.experiments.scenario import Scenario
 
@@ -571,23 +611,58 @@ def drain_remote(
                     break
                 time.sleep(poll_interval)
                 continue
-            started = time.perf_counter()
-            try:
-                scenario = Scenario.from_dict(job["scenario"])
-                executor = resolve_executor(job["executor"])
-                summary, error = executor(scenario), None
-            except Exception:
-                # Never let one bad cell (or an unimportable executor) kill
-                # the worker: report the failure so the coordinator sees it.
-                summary, error = None, traceback.format_exc(limit=8)
-            record = {
-                "digest": job["digest"],
-                "scenario": (job.get("scenario") or {}).get("name"),
-                "summary": summary,
-                "error": error,
-                "wall_time": time.perf_counter() - started,
-                "worker": sanitize_worker_id(worker),
-            }
+            result_key = job.get("result_key")
+            cached: dict[str, Any] | None = None
+            if isinstance(result_key, str):
+                try:
+                    cached = client.lake_get(result_key)
+                except RemoteQueueError:
+                    cached = None  # lake is an optimisation; execution is the fallback
+            if cached is not None and cached.get("error") is None:
+                # Lake hit: journal the stored outcome (with its *recorded*
+                # wall time, so it is bit-identical to the original run)
+                # without executing the cell.
+                record = {
+                    "digest": job["digest"],
+                    "scenario": (job.get("scenario") or {}).get("name"),
+                    "summary": cached.get("summary"),
+                    "error": None,
+                    "wall_time": float(cached.get("wall_time") or 0.0),
+                    "worker": sanitize_worker_id(worker),
+                    "lake_hit": True,
+                }
+            else:
+                started = time.perf_counter()
+                try:
+                    scenario = Scenario.from_dict(job["scenario"])
+                    executor = resolve_executor(job["executor"])
+                    summary, error = executor(scenario), None
+                except Exception:
+                    # Never let one bad cell (or an unimportable executor) kill
+                    # the worker: report the failure so the coordinator sees it.
+                    summary, error = None, traceback.format_exc(limit=8)
+                record = {
+                    "digest": job["digest"],
+                    "scenario": (job.get("scenario") or {}).get("name"),
+                    "summary": summary,
+                    "error": error,
+                    "wall_time": time.perf_counter() - started,
+                    "worker": sanitize_worker_id(worker),
+                }
+                if isinstance(result_key, str) and error is None:
+                    try:
+                        client.lake_put(
+                            result_key,
+                            {
+                                "scenario": record["scenario"],
+                                "summary": summary,
+                                "error": None,
+                                "wall_time": record["wall_time"],
+                                "graph_analysis": None,
+                            },
+                        )
+                    except RemoteQueueError:
+                        pass  # best-effort: losing a lake write never loses the outcome
             batch.append(record)
             try:
                 client.progress({"kind": "cell-finished", "digest": record["digest"], "record": record})
@@ -639,6 +714,7 @@ class RemoteWorkQueueBackend(WorkQueueBackend):
         lease: float = 60.0,
         idle_timeout: float = 10.0,
         timeout: float | None = None,
+        store: ResultStore | str | Path | None = None,
     ) -> None:
         super().__init__(
             root,
@@ -647,6 +723,7 @@ class RemoteWorkQueueBackend(WorkQueueBackend):
             lease=lease,
             idle_timeout=idle_timeout,
             timeout=timeout,
+            store=store,
         )
         self.host = host
         self.port = port
@@ -670,7 +747,9 @@ class RemoteWorkQueueBackend(WorkQueueBackend):
     def _setup(self, queue: WorkQueue) -> None:
         self._streamed_unjournaled = {}
         self._poll_state = None
-        self.server = QueueServer(queue, host=self.host, port=self.port, lease=self.lease)
+        self.server = QueueServer(
+            queue, host=self.host, port=self.port, lease=self.lease, store=self.store
+        )
         self.server.start()
 
     def _teardown(self) -> None:

@@ -169,6 +169,8 @@ class SuiteResult:
         skipped: Sequence[str] = (),
         cache_stats: dict[str, int] | None = None,
         memo_stats: dict[str, Any] | None = None,
+        cache_hits: int | None = None,
+        cache_misses: int | None = None,
     ) -> None:
         self.outcomes = outcomes
         self.wall_time = wall_time
@@ -188,6 +190,13 @@ class SuiteResult:
         #: backends the workers' memos are not aggregated, so the snapshot
         #: only reflects coordinator-side work.
         self.memo_stats = memo_stats
+        #: Result-lake statistics: cells stitched from / missed in the
+        #: :class:`~repro.experiments.lake.ResultStore` a run was given.
+        #: Both stay ``None`` when no lake was used, which keeps exports
+        #: (and the committed BENCH baselines) byte-identical to pre-lake
+        #: runs.
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -244,8 +253,12 @@ class SuiteResult:
             "skipped": list(self.skipped),
             "cache": self.cache_stats,
             "sink_search_memo": self.memo_stats,
-            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
         }
+        if self.cache_hits is not None:
+            # Lake-only keys: exports of runs without a store stay identical.
+            payload["cache_hits"] = self.cache_hits
+            payload["cache_misses"] = self.cache_misses
+        payload["outcomes"] = [outcome.to_dict() for outcome in self.outcomes]
         if group_by is not None:
             payload["groups"] = [
                 stats.to_dict() for _key, stats in sorted(

@@ -23,6 +23,17 @@ skips cells whose outcomes are already journaled — the resulting
 :class:`~repro.experiments.results.SuiteResult` stitches cached and fresh
 outcomes back into scenario order, indistinguishable from an uninterrupted
 run.
+
+Passing ``store=`` (a :class:`~repro.experiments.lake.ResultStore` or its
+root path) consults the content-addressable result lake *before* any cell
+is dispatched to a backend, and journals every fresh successful outcome
+into it after — so identical cells are computed once **across sweeps**,
+not just within one resumed run.  Hits and misses surface as
+``SuiteResult.cache_hits`` / ``cache_misses``.  Lake hits require the
+executor to declare a cache identity
+(:func:`~repro.experiments.lake.executor_identity`); undigested executors
+bypass the store with a warning, so a hit can never return a result
+computed by different code.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from repro.experiments.backends.base import ExecutionBackend, Executor, execute_
 from repro.experiments.backends.local import PoolBackend, SerialBackend
 from repro.experiments.backends.store import OutcomeStore
 from repro.experiments.cache import GraphAnalysisCache
+from repro.experiments.lake import ResultStore, executor_digest_of, executor_identity, result_key
 from repro.experiments.results import ScenarioOutcome, SuiteResult
 from repro.experiments.scenario import Scenario
 from repro.graphs.search_memo import sink_search_memo
@@ -53,6 +65,7 @@ class SuiteExecutionError(RuntimeError):
         self.error = error
 
 
+@executor_identity("1")
 def execute_scenario(scenario: Scenario) -> dict[str, Any]:
     """Default executor: build the run config, simulate, return the summary.
 
@@ -131,6 +144,7 @@ class SuiteRunner:
         scenarios: Iterable[Scenario],
         *,
         resume: OutcomeStore | str | None = None,
+        store: ResultStore | str | None = None,
     ) -> SuiteResult:
         """Execute every scenario and return the aggregated suite result.
 
@@ -139,18 +153,27 @@ class SuiteRunner:
         instead of re-executed (journaled failures are retried), and every
         freshly completed cell is journaled — so a killed sweep re-run with
         the same store continues where it stopped.
+
+        With ``store`` (a :class:`ResultStore` or its root path), the result
+        lake is consulted before any cell reaches the backend: stored
+        successful outcomes are stitched in bit-identically (same summary,
+        same recorded wall time), the rest execute and are journaled into
+        the lake after.  ``resume`` and ``store`` compose — the per-sweep
+        journal is checked first, the cross-sweep lake second.
         """
         cells = list(scenarios)
         backend = self._resolve_backend()
-        store = self._resolve_store(resume)
+        journal = self._resolve_store(resume)
+        lake = self._resolve_lake(store)
         started = time.perf_counter()
 
         outcomes: list[ScenarioOutcome | None] = [None] * len(cells)
         digests: list[str] | None = None
         resumed = 0
-        if store is not None:
+        if journal is not None or lake is not None:
             digests = [scenario.cell_digest() for scenario in cells]
-            records = store.load()
+        if journal is not None and digests is not None:
+            records = journal.load()
             for index, digest in enumerate(digests):
                 record = records.get(digest)
                 # Only successful cells are stitched from the checkpoint:
@@ -168,8 +191,34 @@ class SuiteRunner:
                 )
                 resumed += 1
 
+        cache_hits = cache_misses = 0
+        keys: list[str] | None = None
+        if lake is not None and digests is not None:
+            exec_digest = executor_digest_of(self.executor)
+            assert exec_digest is not None  # _resolve_lake dropped the store otherwise
+            keys = [result_key(digest, exec_digest) for digest in digests]
+            for index, key in enumerate(keys):
+                if outcomes[index] is not None:
+                    continue  # stitched from the resume journal already
+                payload = lake.get(key)
+                # Like resume, only successful outcomes are served from the
+                # lake (failures are not stored, but stay defensive about
+                # foreign writers) — and the recorded wall time is reused, so
+                # a warm export is bit-identical to the cold one.
+                if payload is None or payload.get("error") is not None:
+                    cache_misses += 1
+                    continue
+                outcomes[index] = ScenarioOutcome(
+                    scenario=cells[index],
+                    summary=payload.get("summary"),
+                    error=None,
+                    wall_time=float(payload.get("wall_time") or 0.0),
+                    graph_analysis=payload.get("graph_analysis"),
+                )
+                cache_hits += 1
+
         pending = [(index, cells[index]) for index in range(len(cells)) if outcomes[index] is None]
-        completed = resumed
+        completed = resumed + cache_hits
         if pending:
             results = backend.execute(pending, self.executor)
             try:
@@ -177,8 +226,10 @@ class SuiteRunner:
                     completed += 1
                     outcome = self._finish(cells[index], summary, error, wall, completed, len(cells))
                     outcomes[index] = outcome
-                    if store is not None and digests is not None:
-                        store.record(digests[index], outcome)
+                    if journal is not None and digests is not None:
+                        journal.record(digests[index], outcome)
+                    if lake is not None and keys is not None and outcome.error is None:
+                        lake.put(keys[index], _lake_payload(outcome))
             finally:
                 # Close generator backends promptly (fail-fast must tear down
                 # in-flight pool/queue work now, not when the traceback that
@@ -205,6 +256,8 @@ class SuiteRunner:
             skipped=skipped,
             cache_stats=self.graph_cache.stats() if self.graph_cache is not None else None,
             memo_stats=sink_search_memo().stats(),
+            cache_hits=cache_hits if lake is not None else None,
+            cache_misses=cache_misses if lake is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -220,6 +273,22 @@ class SuiteRunner:
         if resume is None or isinstance(resume, OutcomeStore):
             return resume
         return OutcomeStore(resume)
+
+    def _resolve_lake(self, store: ResultStore | str | None) -> ResultStore | None:
+        if store is None:
+            return None
+        if executor_digest_of(self.executor) is None:
+            # Cache-identity safety: without a declared executor digest a
+            # lake key would be the bare cell digest, and a hit could return
+            # a result computed by *different code*.  Bypass instead.
+            warnings.warn(
+                f"executor {getattr(self.executor, '__qualname__', self.executor)!r} declares "
+                "no cache identity (see repro.experiments.lake.executor_identity); "
+                "bypassing the result lake for this run",
+                stacklevel=3,
+            )
+            return None
+        return store if isinstance(store, ResultStore) else ResultStore(store)
 
     def _finish(
         self,
@@ -247,6 +316,23 @@ class SuiteRunner:
         if self.graph_cache is None:
             return None
         return self.graph_cache.analysis(scenario.graph).summary()
+
+
+def _lake_payload(outcome: ScenarioOutcome) -> dict[str, Any]:
+    """The immutable lake object recorded for one successful outcome.
+
+    Shape matches what the remote workers journal (see
+    :func:`repro.experiments.backends.remote.drain_remote`), so a payload
+    stored by a worker and one stored by the coordinator for the same cell
+    are content-identical and share one object.
+    """
+    return {
+        "scenario": outcome.scenario.name,
+        "summary": outcome.summary,
+        "error": None,
+        "wall_time": outcome.wall_time,
+        "graph_analysis": outcome.graph_analysis,
+    }
 
 
 __all__ = ["SuiteRunner", "SuiteExecutionError", "execute_scenario"]

@@ -44,6 +44,7 @@ import traceback
 from pathlib import Path
 
 from repro.experiments.backends.queue import WorkQueue, resolve_executor
+from repro.experiments.lake import ResultStore
 from repro.experiments.scenario import Scenario
 
 
@@ -64,6 +65,7 @@ def drain(
     idle_timeout: float = 10.0,
     poll_interval: float = 0.1,
     lease: float = 60.0,
+    lake: ResultStore | str | Path | None = None,
 ) -> int:
     """Claim and execute jobs until idle for ``idle_timeout``; return the job count.
 
@@ -77,8 +79,15 @@ def drain(
     lease, *including while a cell is executing* — a claim is therefore
     only reclaimed when the worker process actually died, not merely
     because one cell ran longer than the lease.
+
+    When ``lake`` names a :class:`~repro.experiments.lake.ResultStore` and
+    a job carries a ``result_key``, the store is consulted first: a hit
+    journals the stored summary with its recorded wall time instead of
+    executing the cell, and a fresh success is stored back for the rest of
+    the fleet.
     """
     work_queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+    store = lake if lake is None or isinstance(lake, ResultStore) else ResultStore(lake)
     worker = worker_id or default_worker_id()
     executed = 0
     stop_heartbeat = threading.Event()
@@ -101,18 +110,43 @@ def drain(
                     break
                 time.sleep(poll_interval)
                 continue
-            started = time.perf_counter()
-            try:
-                scenario = Scenario.from_dict(job.scenario)
-                executor = resolve_executor(job.executor)
-                summary, error = executor(scenario), None
-            except Exception:
-                # Never let one bad cell (or an unimportable executor) kill
-                # the worker: report the failure so the coordinator sees it.
-                summary, error = None, traceback.format_exc(limit=8)
-            work_queue.report(
-                worker, job, summary=summary, error=error, wall_time=time.perf_counter() - started
-            )
+            cached = None
+            if store is not None and job.result_key is not None:
+                cached = store.get(job.result_key)
+            if cached is not None and cached.get("error") is None:
+                # Lake hit: journal the stored outcome (with its *recorded*
+                # wall time, so it is bit-identical to the original run)
+                # without executing the cell.
+                work_queue.report(
+                    worker,
+                    job,
+                    summary=cached.get("summary"),
+                    error=None,
+                    wall_time=float(cached.get("wall_time") or 0.0),
+                )
+            else:
+                started = time.perf_counter()
+                try:
+                    scenario = Scenario.from_dict(job.scenario)
+                    executor = resolve_executor(job.executor)
+                    summary, error = executor(scenario), None
+                except Exception:
+                    # Never let one bad cell (or an unimportable executor) kill
+                    # the worker: report the failure so the coordinator sees it.
+                    summary, error = None, traceback.format_exc(limit=8)
+                wall_time = time.perf_counter() - started
+                work_queue.report(worker, job, summary=summary, error=error, wall_time=wall_time)
+                if store is not None and job.result_key is not None and error is None:
+                    store.put(
+                        job.result_key,
+                        {
+                            "scenario": (job.scenario or {}).get("name"),
+                            "summary": summary,
+                            "error": None,
+                            "wall_time": wall_time,
+                            "graph_analysis": None,
+                        },
+                    )
             executed += 1
             idle_since = time.monotonic()
     finally:
@@ -169,6 +203,14 @@ def main(argv: list[str] | None = None) -> int:
         default=60.0,
         help="TCP mode: keep reconnecting to an unreachable server for this long (default: 60)",
     )
+    parser.add_argument(
+        "--lake",
+        default=None,
+        metavar="DIR",
+        help="directory mode: result-lake directory consulted before executing jobs "
+        "that carry a result key (TCP workers reach the coordinator's lake through "
+        "the queue server instead)",
+    )
     options = parser.parse_args(argv)
     # A coordinator tearing a sweep down terminates its workers; turning
     # SIGTERM into SystemExit lets the drain loops run their cleanup — in
@@ -198,6 +240,7 @@ def main(argv: list[str] | None = None) -> int:
             idle_timeout=options.idle_timeout,
             poll_interval=options.poll_interval,
             lease=options.lease,
+            lake=options.lake,
         )
     print(f"worker {options.worker_id or default_worker_id()}: executed {executed} jobs")
     return 0

@@ -22,6 +22,7 @@ insertion order, but the *insertions* must then be deterministic).
 from __future__ import annotations
 
 import ast
+from collections.abc import Iterator
 
 from repro.lint.checkers.base import BaseChecker, dotted_name
 from repro.lint.config import LintConfig
@@ -50,7 +51,7 @@ def _is_set_annotation(annotation: ast.expr | None) -> bool:
     return name.rsplit(".", 1)[-1] in SET_NAMES
 
 
-def _walk_scope(body: list[ast.stmt]):
+def _walk_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
     """Yield statements of one scope without descending into nested scopes."""
     stack: list[ast.AST] = list(body)
     while stack:

@@ -126,13 +126,8 @@ def _default_seam_rules() -> tuple[SeamRule, ...]:
         SeamRule(
             scope="repro.adversary",
             forbidden=SIM_MACHINERY,
-            reason="faulty-node behaviours run unchanged on sim and live runtimes",
-            exceptions=(
-                # Declared adapter: DelayRule/PartitionRule/CrashRule compile
-                # onto the Network rule engine; the schedule module *is* the
-                # bridge between declarative faults and the transport.
-                "repro.adversary.schedule",
-            ),
+            reason="faulty-node behaviours and fault schedules are plain data/behaviour; "
+            "their sim binding lives in repro.runtime.sim",
         ),
         SeamRule(
             scope="repro.crypto",
@@ -152,12 +147,8 @@ def _default_seam_rules() -> tuple[SeamRule, ...]:
         SeamRule(
             scope="repro.analysis",
             forbidden=SIM_MACHINERY,
-            reason="analyses consume RunResults; only the run harness drives the engine",
-            exceptions=(
-                # Declared driver: run_consensus constructs the Simulator and
-                # Network for every discrete-event run; it owns this edge.
-                "repro.analysis.harness",
-            ),
+            reason="analyses consume RunResults; discrete-event runs are assembled "
+            "through repro.runtime.sim.build_sim_runtime",
         ),
         SeamRule(
             scope="repro.experiments",

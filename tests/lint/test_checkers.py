@@ -220,6 +220,32 @@ class TestSeam:
         assert active == []
 
     def test_declared_adapter_modules_are_exempt(self, tmp_path):
+        # The default map no longer carries adapter exceptions (only
+        # repro.runtime + repro.sim touch sim machinery), so the exemption
+        # mechanism is exercised through a config that declares one.
+        excepted = replace(
+            DEFAULT_CONFIG,
+            seam_rules=tuple(
+                replace(rule, exceptions=("repro.analysis.harness",))
+                if rule.scope == "repro.analysis"
+                else rule
+                for rule in DEFAULT_CONFIG.seam_rules
+            ),
+        )
+        active, _ = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.engine import Simulator
+            from repro.sim.network import Network
+            """,
+            module="repro.analysis.harness",
+            config=excepted,
+        )
+        assert active == []
+
+    def test_harness_imports_are_no_longer_exempt(self, tmp_path):
+        # PR 9 retired the repro.analysis.harness adapter exception: the
+        # default layering map flags sim-machinery imports there too.
         active, _ = lint_snippet(
             tmp_path,
             """
@@ -228,7 +254,7 @@ class TestSeam:
             """,
             module="repro.analysis.harness",
         )
-        assert active == []
+        assert rules_of(active) == ["SEAM-IMPORT", "SEAM-IMPORT"]
 
     def test_one_finding_per_import_statement(self, tmp_path):
         active, _ = lint_snippet(
