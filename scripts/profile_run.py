@@ -14,9 +14,15 @@ non-zero when graph analysis exceeds the pinned fraction of the run's
 cumulative internal time, which catches regressions that quietly reintroduce
 per-message re-analysis long before they show up as wall-clock drift.
 
+``--max-crypto-share`` gates the signature layer (``repro/crypto/``) the
+same way: with the canonical memo and the verified-signature LRU absorbing
+repeat verifications, crypto stays a small fraction of the run's internal
+time, and a regression that bypasses the caches (or re-encodes hot payloads
+per receiver) trips the gate immediately.
+
 Run exactly what CI runs::
 
-    PYTHONPATH=src python scripts/profile_run.py --max-analysis-share 0.35
+    PYTHONPATH=src python scripts/profile_run.py --max-analysis-share 0.35 --max-crypto-share 0.10
 """
 
 from __future__ import annotations
@@ -43,6 +49,10 @@ ANALYSIS_PATH_MARKERS = (
     "repro/core/discovery.py",
     "repro/core/locators.py",
 )
+
+#: Path fragments that count as "crypto" — canonical encoding, signing,
+#: verification and aggregation all live under this package.
+CRYPTO_PATH_MARKERS = ("repro/crypto/",)
 
 
 def profile_run(
@@ -71,21 +81,21 @@ def profile_run(
     return pstats.Stats(profiler), result.consensus_solved
 
 
-def analysis_share(stats: pstats.Stats) -> tuple[float, float, float]:
-    """Return ``(share, analysis_time, total_time)`` over internal time.
+def layer_share(stats: pstats.Stats, markers: tuple[str, ...]) -> tuple[float, float, float]:
+    """Return ``(share, layer_time, total_time)`` over internal time.
 
     Internal (per-function ``tottime``) attribution sums to the run's total
     time exactly once, so the share is well defined; cumulative time would
     double-count callers and callees.
     """
     total = 0.0
-    analysis = 0.0
+    layer = 0.0
     for (filename, _lineno, _name), (_cc, _nc, tottime, _ct, _callers) in stats.stats.items():
         total += tottime
         normalised = filename.replace("\\", "/")
-        if any(marker in normalised for marker in ANALYSIS_PATH_MARKERS):
-            analysis += tottime
-    return (analysis / total if total else 0.0), analysis, total
+        if any(marker in normalised for marker in markers):
+            layer += tottime
+    return (layer / total if total else 0.0), layer, total
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,18 +125,29 @@ def main(argv: list[str] | None = None) -> int:
             "fraction of the run's total internal time"
         ),
     )
+    parser.add_argument(
+        "--max-crypto-share",
+        type=float,
+        default=None,
+        help=(
+            "fail (exit 1) when the crypto layer (repro/crypto/) exceeds "
+            "this fraction of the run's total internal time"
+        ),
+    )
     args = parser.parse_args(argv)
 
     stats, solved = profile_run(
         non_sink_size=args.non_sink_size, synchrony=args.synchrony, seed=args.seed
     )
     stats.sort_stats("tottime").print_stats(args.top)
-    share, analysis, total = analysis_share(stats)
+    share, analysis, total = layer_share(stats, ANALYSIS_PATH_MARKERS)
+    crypto_share, crypto, _ = layer_share(stats, CRYPTO_PATH_MARKERS)
     print(
         f"graph-analysis share: {share:.1%} "
         f"({analysis:.3f}s of {total:.3f}s internal time, "
         f"n={args.non_sink_size + 4}, {args.synchrony}, solved={solved})"
     )
+    print(f"crypto share: {crypto_share:.1%} ({crypto:.3f}s of {total:.3f}s internal time)")
     if not solved:
         print("FAIL: the profiled run did not solve consensus", file=sys.stderr)
         return 1
@@ -135,6 +156,15 @@ def main(argv: list[str] | None = None) -> int:
             f"FAIL: graph analysis used {share:.1%} of the run's internal time "
             f"(gate: {args.max_analysis_share:.1%}); the incremental analysis "
             "layer is being bypassed somewhere",
+            file=sys.stderr,
+        )
+        return 1
+    if args.max_crypto_share is not None and crypto_share > args.max_crypto_share:
+        print(
+            f"FAIL: the crypto layer used {crypto_share:.1%} of the run's internal "
+            f"time (gate: {args.max_crypto_share:.1%}); the verification fast "
+            "path (canonical memo + verified-signature LRU) is being bypassed "
+            "somewhere",
             file=sys.stderr,
         )
         return 1

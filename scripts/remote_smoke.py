@@ -11,11 +11,16 @@ This is the CI guard for the networked execution path: it runs one small
    re-executed by the survivor),
 3. a second coordinator pass over the *same* queue directory with no
    workers at all (everything must be stitched from the journaled outcome
-   shards — the killed-and-resumed path)
+   shards — the killed-and-resumed path),
+4. through the same backend in server-push mode with zlib frame
+   compression negotiated: workers long-poll their claims and each report
+   piggybacks the next one, over a compressed wire
 
-— and exits non-zero unless (2) and (3) match (1) exactly: identical
+— and exits non-zero unless (2), (3) and (4) match (1) exactly: identical
 per-scenario summaries *and* identical ``cell_digest`` sequences, in
-scenario order.  That is the bit-identical-across-transports guarantee.
+scenario order.  That is the bit-identical-across-transports guarantee —
+the transport rhythm (claim vs push) and the frame encoding (plain vs
+deflated) must never leak into results.
 
 Run with::
 
@@ -113,7 +118,38 @@ def main() -> int:
             print("FAIL: resumed cell digests diverge from serial", file=sys.stderr)
             return 1
 
-    print("OK: TCP-sharded (with a worker killed) and resumed results match the serial baseline")
+        # Server-push mode over a compressed wire: workers long-poll and
+        # every report piggybacks the next claim; frames >= 1 KiB travel
+        # zlib-deflated.  Neither may change a single byte of the results.
+        pushed = SuiteRunner(
+            backend=RemoteWorkQueueBackend(
+                Path(tmp) / "queue-push",
+                workers=2,
+                batch_size=2,
+                poll_interval=0.05,
+                lease=2.0,
+                idle_timeout=20.0,
+                timeout=300.0,
+                push=True,
+                claim_wait=1.0,
+                compress_min=1024,
+            )
+        ).run(cells)
+        print(
+            f"remote-queue (server-push, compressed wire): {len(pushed)} cells in "
+            f"{pushed.wall_time:.2f}s"
+        )
+        if pushed.summaries() != serial.summaries():
+            print("FAIL: server-push summaries diverge from serial", file=sys.stderr)
+            return 1
+        if digests(pushed) != digests(serial):
+            print("FAIL: server-push cell digests diverge from serial", file=sys.stderr)
+            return 1
+
+    print(
+        "OK: TCP-sharded (with a worker killed), resumed, and server-push/compressed "
+        "results all match the serial baseline"
+    )
     return 0
 
 

@@ -92,6 +92,13 @@ class RunResult:
     #: incremental-analysis gates.
     sink_searches: int = 0
     search_skips: int = 0
+    #: Crypto fast-path counters from the run's :class:`KeyRegistry`:
+    #: signature verifications requested, how many were answered by the
+    #: verified-tag LRU, and hits of the canonical-encoding identity memo
+    #: (sign + verify).  All three are per-run deterministic.
+    verify_calls: int = 0
+    verify_cache_hits: int = 0
+    canonical_cache_hits: int = 0
     #: Which runtime executed the run: ``"sim"`` (discrete-event engine) or
     #: ``"live"`` (the asyncio socket runtime).
     runtime_name: str = "sim"
@@ -143,6 +150,9 @@ class RunResult:
             "pending_peak": self.pending_peak,
             "sink_searches": self.sink_searches,
             "search_skips": self.search_skips,
+            "verify_calls": self.verify_calls,
+            "verify_cache_hits": self.verify_cache_hits,
+            "canonical_cache_hits": self.canonical_cache_hits,
         }
         if self.live is not None:
             # Live-only keys: simulated summaries (and the committed BENCH
@@ -278,6 +288,7 @@ def run_consensus(config: RunConfig) -> RunResult:
         events_processed=simulator.processed_events,
         compactions=simulator.compactions,
         pending_peak=simulator.pending_peak,
+        registry=registry,
     )
 
 
@@ -291,6 +302,7 @@ def collect_run_result(
     events_processed: int,
     compactions: int = 0,
     pending_peak: int = 0,
+    registry: KeyRegistry | None = None,
     runtime_name: str = "sim",
     live: Any = None,
 ) -> RunResult:
@@ -359,6 +371,9 @@ def collect_run_result(
         pending_peak=pending_peak,
         sink_searches=sink_searches,
         search_skips=search_skips,
+        verify_calls=registry.verify_calls if registry is not None else 0,
+        verify_cache_hits=registry.verify_cache_hits if registry is not None else 0,
+        canonical_cache_hits=registry.canonical_cache_hits if registry is not None else 0,
         runtime_name=runtime_name,
         live=live,
     )

@@ -163,6 +163,11 @@ class SinkDiscoveryOutcome:
     all_correct_identified: bool
     agreement_on_members: bool
     virtual_duration: float
+    #: Crypto fast-path counters from the run's :class:`KeyRegistry`
+    #: (zero for the unauthenticated variant, which verifies nothing).
+    verify_calls: int = 0
+    verify_cache_hits: int = 0
+    canonical_cache_hits: int = 0
 
 
 def _outcome(
@@ -170,6 +175,7 @@ def _outcome(
     correct: frozenset[ProcessId],
     trace: SimulationTrace,
     virtual_duration: float,
+    registry: KeyRegistry | None = None,
 ) -> SinkDiscoveryOutcome:
     identified = {}
     times = {}
@@ -186,6 +192,9 @@ def _outcome(
         all_correct_identified=set(identified) == set(correct),
         agreement_on_members=len(set(identified.values())) <= 1,
         virtual_duration=virtual_duration,
+        verify_calls=registry.verify_calls if registry is not None else 0,
+        verify_cache_hits=registry.verify_cache_hits if registry is not None else 0,
+        canonical_cache_hits=registry.canonical_cache_hits if registry is not None else 0,
     )
 
 
@@ -242,18 +251,22 @@ def run_authenticated_sink_discovery(
     seed: int = 0,
     horizon: float = 2_000.0,
     synchrony=None,
+    registry: KeyRegistry | None = None,
 ) -> SinkDiscoveryOutcome:
     """Run the authenticated Discovery + Sink algorithms (no inner consensus).
 
     Counterpart of :func:`run_unauthenticated_sink_discovery` used by the
     baseline benchmark so both sides measure exactly the same phase
-    (discovery until sink identification).
+    (discovery until sink identification).  ``registry`` overrides the
+    default ``KeyRegistry(seed=seed)`` — the benchmark uses it to compare
+    the crypto fast path against a cache-less registry on the same run.
     """
     from repro.core.node import ConsensusNode
 
     trace = SimulationTrace()
     runtime = _discovery_runtime(horizon, synchrony, trace, seed, faulty)
-    registry = KeyRegistry(seed=seed)
+    if registry is None:
+        registry = KeyRegistry(seed=seed)
     correct = frozenset(graph.processes - faulty)
     protocol = ProtocolConfig.bft_cup(fault_threshold)
     nodes: dict[ProcessId, Process] = {}
@@ -279,4 +292,4 @@ def run_authenticated_sink_discovery(
         return all(nodes[p].identified_members is not None for p in correct)
 
     runtime.simulator.run(until=done)
-    return _outcome(nodes, correct, trace, runtime.now)
+    return _outcome(nodes, correct, trace, runtime.now, registry=registry)

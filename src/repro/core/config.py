@@ -52,6 +52,10 @@ class ProtocolConfig:
     #: Inner-consensus tuning.
     pbft: PbftConfig = field(default_factory=PbftConfig)
     quorum_rule: QuorumRule = QuorumRule.PAPER
+    #: Fold prepare quorums into one aggregate tag (see
+    #: :mod:`repro.crypto.aggregate`).  Opt-in: committed trajectories carry
+    #: full vote sets, so the default must stay ``False``.
+    aggregate_quorum_certs: bool = False
     #: Stop issuing GETPDS requests once the sink/core has been identified.
     stop_discovery_after_identification: bool = True
 
@@ -66,6 +70,7 @@ class ProtocolConfig:
         if self.fault_threshold is not None and self.fault_threshold < 0:
             raise ValueError("the fault threshold must be non-negative")
         self.pbft.quorum_rule = self.quorum_rule.value
+        self.pbft.aggregate_certificates = self.aggregate_quorum_certs
 
     @classmethod
     def bft_cup(cls, fault_threshold: int, **kwargs: Any) -> "ProtocolConfig":

@@ -144,6 +144,25 @@ class DiscoveryState:
         new_known: list[ProcessId] = []
         stored_this_call: set[ProcessId] = set()
         analysis_changed = False
+        # Pre-pass: collect the entries that will reach the signature check
+        # and verify them as one batch (one canonical encoding per distinct
+        # message, grouped by signer).  The filter mirrors the fold below
+        # exactly — an entry needs verification iff it is a well-formed,
+        # self-signed PdRecord and is not the already-stored record of its
+        # owner.  Only pre-call state matters for that last test: a
+        # same-owner duplicate arriving later in this call is a *conflicting*
+        # record (frozensets dedupe equal entries), which the fold verifies
+        # too, so the pre-pass and the fold agree on the set to check.
+        pending: list[SignedMessage] = []
+        for entry in entries:  # lint: allow[DET-ORDER-SET] order-insensitive collection; validity is per-entry
+            record = entry.message
+            if not isinstance(record, PdRecord) or entry.signer != record.owner:
+                continue
+            stored = self.records.get(record.owner)
+            if stored is not None and (stored is entry or stored == entry):
+                continue
+            pending.append(entry)
+        verified = dict(zip(map(id, pending), self.registry.verify_batch(pending), strict=True))
         for entry in entries:  # lint: allow[DET-ORDER-SET] order-insensitive fold; same-owner conflicts resolved by canonical tag below
             record = entry.message
             if not isinstance(record, PdRecord):
@@ -156,7 +175,7 @@ class DiscoveryState:
             if entry.signer != owner:
                 self.rejected_records += 1
                 continue
-            if not self.registry.verify(entry):
+            if not verified[id(entry)]:
                 self.rejected_records += 1
                 continue
             if stored is None:

@@ -9,11 +9,26 @@ handed only to the owning process, and verification recomputes the tag from
 the registry's copy of the secret.
 """
 
+from repro.crypto.aggregate import (
+    AggregateTag,
+    aggregate_signatures,
+    verify_aggregate,
+)
 from repro.crypto.signatures import (
+    CanonicalMemo,
     KeyRegistry,
     SignatureError,
     SignedMessage,
     SigningKey,
 )
 
-__all__ = ["KeyRegistry", "SigningKey", "SignedMessage", "SignatureError"]
+__all__ = [
+    "AggregateTag",
+    "CanonicalMemo",
+    "KeyRegistry",
+    "SigningKey",
+    "SignedMessage",
+    "SignatureError",
+    "aggregate_signatures",
+    "verify_aggregate",
+]

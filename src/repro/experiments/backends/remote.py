@@ -54,6 +54,7 @@ from repro.experiments.backends.queue import (
 )
 from repro.experiments.lake import ResultStore
 from repro.experiments.backends.transport import (
+    COMPRESS_MIN_BYTES,
     MAX_FRAME_BYTES,
     TransportError,
     read_frame,
@@ -61,8 +62,18 @@ from repro.experiments.backends.transport import (
 )
 
 #: Version tag exchanged in ``hello`` so future protocol changes can be
-#: detected instead of mis-parsed.
+#: detected instead of mis-parsed.  Compression and server-push are
+#: *feature-negotiated* within version 1 (the ``hello`` reply advertises
+#: them), so old and new peers interoperate without a version bump.
 PROTOCOL_VERSION = 1
+
+#: Features this server/client pair understands beyond the bare protocol.
+PROTOCOL_FEATURES = ("compress", "push")
+
+#: Upper bound on one long-poll claim park (server side).  Clients asking
+#: for more simply re-poll; bounding the park keeps connections responsive
+#: to shutdown and lease bookkeeping.
+MAX_CLAIM_WAIT = 30.0
 
 
 class RemoteQueueError(RuntimeError):
@@ -232,6 +243,7 @@ class QueueServer:
                 self.queue.reclaim_expired(self.lease)
 
     def _serve_connection(self, connection: socket.socket) -> None:
+        compress_min: int | None = None
         try:
             while not self._stopping.is_set():
                 try:
@@ -243,8 +255,16 @@ class QueueServer:
                 if request is None:
                     break  # clean disconnect
                 response = self._handle(request)
+                if request.get("op") == "hello" and response.get("ok"):
+                    # Compression is per-connection and write-side: frames to
+                    # this peer deflate only after it asked for it here.  A
+                    # peer that never sends the request never sees a
+                    # compressed frame.
+                    negotiated = response.get("compress")
+                    if isinstance(negotiated, dict):
+                        compress_min = int(negotiated["min_bytes"])
                 try:
-                    write_frame(connection, response)
+                    write_frame(connection, response, compress_min=compress_min)
                 except OSError:
                     break
         finally:
@@ -278,28 +298,22 @@ class QueueServer:
                     "error": f"protocol mismatch: server speaks {PROTOCOL_VERSION}, "
                     f"client sent {client_protocol!r}",
                 }
-            return {"ok": True, "server": "repro-queue", "protocol": PROTOCOL_VERSION}
+            reply = {
+                "ok": True,
+                "server": "repro-queue",
+                "protocol": PROTOCOL_VERSION,
+                "features": list(PROTOCOL_FEATURES),
+            }
+            requested = request.get("compress")
+            if isinstance(requested, dict) and requested.get("algo") == "zlib":
+                min_bytes = max(1, int(requested.get("min_bytes") or COMPRESS_MIN_BYTES))
+                reply["compress"] = {"algo": "zlib", "min_bytes": min_bytes}
+            return reply
         if op == "claim":
             token = request.get("token")
             key = (sanitize_worker_id(str(worker)), str(request.get("session") or ""))
-            with self._queue_lock:
-                if isinstance(token, str):
-                    cached = self._claim_replies.get(key)
-                    if cached is not None and cached[0] == token:
-                        return cached[1]  # lost-ACK retry: same claim again
-                job = self.queue.claim(str(worker))
-                reply: dict[str, Any] = {"ok": True, "job": None}
-                if job is not None:
-                    reply["job"] = {
-                        "digest": job.digest,
-                        "index": job.index,
-                        "scenario": job.scenario,
-                        "executor": job.executor,
-                        "result_key": job.result_key,
-                    }
-                if isinstance(token, str):
-                    self._claim_replies[key] = (token, reply)
-            return reply
+            wait = float(request.get("wait") or 0.0)
+            return self._claim_reply(str(worker), key, token, wait)
         if op == "heartbeat":
             return {"ok": True}
         if op == "report":
@@ -329,6 +343,45 @@ class QueueServer:
             return {"ok": True, "stored": stored is not None}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
+    def _claim_reply(
+        self, worker: str, key: tuple[str, str], token: Any, wait: float
+    ) -> dict[str, Any]:
+        """Claim one job for ``worker``, parking up to ``wait`` seconds.
+
+        The long-poll park is what turns the claim protocol into server
+        push: an idle worker's claim sits here until a job lands in the
+        queue (or the bounded wait elapses), so job hand-off costs zero
+        idle round-trips.  The park polls the filesystem queue *without*
+        holding the queue lock between attempts, so reports and other
+        claims proceed while workers wait.  Token caching is unchanged: a
+        lost-ACK retry (same token) gets the cached reply, parked or not.
+        """
+        deadline = time.monotonic() + min(max(wait, 0.0), MAX_CLAIM_WAIT)
+        while True:
+            with self._queue_lock:
+                if isinstance(token, str):
+                    cached = self._claim_replies.get(key)
+                    if cached is not None and cached[0] == token:
+                        return cached[1]  # lost-ACK retry: same claim again
+                job = self.queue.claim(worker)
+                if job is not None or time.monotonic() >= deadline or self._stopping.is_set():
+                    reply: dict[str, Any] = {"ok": True, "job": None}
+                    if job is not None:
+                        reply["job"] = {
+                            "digest": job.digest,
+                            "index": job.index,
+                            "scenario": job.scenario,
+                            "executor": job.executor,
+                            "result_key": job.result_key,
+                        }
+                    if isinstance(token, str):
+                        self._claim_replies[key] = (token, reply)
+                    return reply
+            # Parked between polls: a parked worker is alive, keep its
+            # heartbeat fresh so snapshots and reclamation see it that way.
+            self.queue.heartbeat(worker)
+            self._stopping.wait(0.05)
+
     def _apply_report(self, worker: str, request: dict[str, Any]) -> dict[str, Any]:
         """Journal one uploaded outcome batch, at most once per sequence number.
 
@@ -344,19 +397,31 @@ class QueueServer:
         key = (sanitize_worker_id(worker), str(request.get("session") or ""))
         with self._queue_lock:
             if isinstance(seq, int) and seq <= self._applied_seq.get(key, 0):
-                return {"ok": True, "applied": False, "seq": seq}
-            accepted = 0
-            for record in outcomes:
-                if isinstance(record, dict) and "digest" in record:
-                    self.queue.journal_record(worker, record)
-                    accepted += 1
-            # Only a fully journaled batch is marked applied: if an i/o
-            # error above aborts the batch midway, the client's replay (same
-            # seq) is re-journaled rather than dropped — a duplicate record
-            # is harmless (later records win), a lost one is not.
-            if isinstance(seq, int):
-                self._applied_seq[key] = seq
-        return {"ok": True, "applied": True, "accepted": accepted}
+                reply: dict[str, Any] = {"ok": True, "applied": False, "seq": seq}
+            else:
+                accepted = 0
+                for record in outcomes:
+                    if isinstance(record, dict) and "digest" in record:
+                        self.queue.journal_record(worker, record)
+                        accepted += 1
+                # Only a fully journaled batch is marked applied: if an i/o
+                # error above aborts the batch midway, the client's replay
+                # (same seq) is re-journaled rather than dropped — a
+                # duplicate record is harmless (later records win), a lost
+                # one is not.
+                if isinstance(seq, int):
+                    self._applied_seq[key] = seq
+                reply = {"ok": True, "applied": True, "accepted": accepted}
+        # Server push: a push-mode worker piggybacks its next claim on the
+        # report, folding report + claim into one round-trip.  The claim
+        # runs through the tokened path (outside the journal lock hold
+        # above), so a replayed report re-offers the *same* job instead of
+        # stranding the first one under a live worker.
+        claim = request.get("claim")
+        if isinstance(claim, dict) and isinstance(claim.get("token"), str):
+            wait = float(claim.get("wait") or 0.0)
+            reply["job"] = self._claim_reply(worker, key, claim["token"], wait).get("job")
+        return reply
 
 
 # ---------------------------------------------------------------------------
@@ -383,6 +448,7 @@ class RemoteQueueClient:
         io_timeout: float = 120.0,
         retry_window: float = 60.0,
         retry_interval: float = 0.5,
+        compress_min: int | None = None,
     ) -> None:
         self.address = parse_address(address) if isinstance(address, str) else address
         self.worker_id = worker_id
@@ -390,6 +456,11 @@ class RemoteQueueClient:
         self.io_timeout = io_timeout
         self.retry_window = retry_window
         self.retry_interval = retry_interval
+        #: Request zlib compression for frames at least this large (``None``
+        #: disables the request).  Actually compressing requires the server
+        #: to ack the request in ``hello``; see :attr:`negotiated_compress_min`.
+        self.compress_min = compress_min
+        self._write_compress: int | None = None
         self._sock: socket.socket | None = None
         self._lock = threading.Lock()
         #: Unique per client *instance*: batch replay protection is scoped
@@ -408,7 +479,14 @@ class RemoteQueueClient:
     def _connect_locked(self) -> None:
         sock = socket.create_connection(self.address, timeout=self.connect_timeout)
         sock.settimeout(self.io_timeout)
-        write_frame(sock, {"op": "hello", "worker": self.worker_id, "protocol": PROTOCOL_VERSION})
+        hello: dict[str, Any] = {
+            "op": "hello",
+            "worker": self.worker_id,
+            "protocol": PROTOCOL_VERSION,
+        }
+        if self.compress_min is not None:
+            hello["compress"] = {"algo": "zlib", "min_bytes": int(self.compress_min)}
+        write_frame(sock, hello)
         reply = read_frame(sock)
         if reply is None or not reply.get("ok"):
             sock.close()
@@ -419,7 +497,20 @@ class RemoteQueueClient:
                 f"server at {format_address(self.address)} speaks protocol "
                 f"{reply.get('protocol')!r}, this client speaks {PROTOCOL_VERSION}"
             )
+        # Compress writes only when the server acked the request (its
+        # threshold echo is authoritative); a server that ignored it —
+        # an older build, say — keeps this connection uncompressed.
+        acked = reply.get("compress")
+        if isinstance(acked, dict) and acked.get("algo") == "zlib":
+            self._write_compress = int(acked["min_bytes"])
+        else:
+            self._write_compress = None
         self._sock = sock
+
+    @property
+    def negotiated_compress_min(self) -> int | None:
+        """The compression threshold in force on the live connection, if any."""
+        return self._write_compress
 
     def _close_locked(self) -> None:
         if self._sock is not None:
@@ -448,7 +539,7 @@ class RemoteQueueClient:
                     if self._sock is None:
                         self._connect_locked()
                     assert self._sock is not None
-                    write_frame(self._sock, payload)
+                    write_frame(self._sock, payload, compress_min=self._write_compress)
                     reply = read_frame(self._sock)
                     if reply is None:
                         raise TransportError("server closed the connection")
@@ -469,22 +560,27 @@ class RemoteQueueClient:
                     )
                 return reply
 
-    def claim(self) -> dict[str, Any] | None:
+    def claim(self, *, wait: float | None = None) -> dict[str, Any] | None:
         """Claim one job; ``None`` when the queue has nothing pending.
 
         Each logical claim carries a fresh token; a connection-level retry
         re-sends the same token, so the server hands back the same job
         instead of claiming a second one (claims are otherwise not
         idempotent — a lost ACK would strand the first job).
+
+        ``wait`` long-polls: the server parks the claim until a job appears
+        or the wait (bounded server-side) elapses, so idle push-mode workers
+        burn no claim round-trips.
         """
-        reply = self.call(
-            {
-                "op": "claim",
-                "worker": self.worker_id,
-                "session": self.session,
-                "token": uuid.uuid4().hex,
-            }
-        )
+        payload: dict[str, Any] = {
+            "op": "claim",
+            "worker": self.worker_id,
+            "session": self.session,
+            "token": uuid.uuid4().hex,
+        }
+        if wait is not None and wait > 0:
+            payload["wait"] = wait
+        reply = self.call(payload)
         job = reply.get("job")
         return job if isinstance(job, dict) else None
 
@@ -494,7 +590,13 @@ class RemoteQueueClient:
     def progress(self, event: dict[str, Any]) -> None:
         self.call({"op": "progress", "worker": self.worker_id, "event": event})
 
-    def report_batch(self, records: Iterable[dict[str, Any]] = ()) -> None:
+    def report_batch(
+        self,
+        records: Iterable[dict[str, Any]] = (),
+        *,
+        claim: bool = False,
+        claim_wait: float | None = None,
+    ) -> dict[str, Any] | None:
         """Upload outcome batches (durable server-side once this returns).
 
         The records are enqueued under a freshly assigned sequence number
@@ -504,23 +606,40 @@ class RemoteQueueClient:
         whose ACK was lost is recognised server-side as a replay instead of
         being journaled twice.  Calling with no records just retries
         whatever is pending.
+
+        With ``claim=True`` (push mode), the *last* request of the flush
+        piggybacks a tokened claim and the next job — or ``None`` — is
+        returned, folding report + claim into one round-trip.  The token is
+        fixed for the whole call, so transport-level retries re-receive the
+        same job.
         """
         batch = list(records)
         if batch:
             self._seq += 1
             self._pending_batches.append((self._seq, batch))
+        claim_token = uuid.uuid4().hex if claim else None
+        job: dict[str, Any] | None = None
+        if claim and not self._pending_batches:
+            return self.claim(wait=claim_wait)
         while self._pending_batches:
             seq, pending = self._pending_batches[0]
-            self.call(
-                {
-                    "op": "report",
-                    "worker": self.worker_id,
-                    "session": self.session,
-                    "seq": seq,
-                    "outcomes": pending,
-                }
-            )
+            payload: dict[str, Any] = {
+                "op": "report",
+                "worker": self.worker_id,
+                "session": self.session,
+                "seq": seq,
+                "outcomes": pending,
+            }
+            if claim_token is not None and len(self._pending_batches) == 1:
+                request_claim: dict[str, Any] = {"token": claim_token}
+                if claim_wait is not None and claim_wait > 0:
+                    request_claim["wait"] = claim_wait
+                payload["claim"] = request_claim
+            reply = self.call(payload)
             self._pending_batches.pop(0)
+            offered = reply.get("job")
+            job = offered if isinstance(offered, dict) else None
+        return job
 
     @property
     def pending_batches(self) -> int:
@@ -556,6 +675,9 @@ def drain_remote(
     batch_size: int = 8,
     heartbeat_interval: float = 5.0,
     retry_window: float = 60.0,
+    mode: str = "claim",
+    claim_wait: float = 5.0,
+    compress_min: int | None = None,
 ) -> int:
     """Claim and execute jobs from a TCP queue server; return the job count.
 
@@ -568,6 +690,16 @@ def drain_remote(
     heartbeats through the same connection so long cells are not reclaimed
     from a live worker.
 
+    ``mode="push"`` flips the claim economics: each finished cell is flushed
+    immediately with a piggybacked claim (report + next job in one
+    round-trip), and an idle worker long-polls ``claim_wait`` seconds — the
+    server parks the connection and pushes the next job the moment one is
+    enqueued, instead of the worker burning ``poll_interval`` claim
+    round-trips.  The executed cells, outcomes and journal records are
+    identical between the modes; only the transport rhythm differs.
+    ``compress_min`` requests zlib compression (see
+    :class:`RemoteQueueClient`) for frames at least that many bytes.
+
     Jobs carrying a ``result_key`` consult the server's result lake first
     (``lake-get``): a hit journals the stored summary — with its recorded
     wall time, so the outcome is bit-identical to the original computation
@@ -578,19 +710,22 @@ def drain_remote(
 
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
+    if mode not in ("claim", "push"):
+        raise ValueError(f"mode must be 'claim' or 'push', got {mode!r}")
+    push = mode == "push"
     worker = worker_id or f"{socket.gethostname()}-{os.getpid()}"
-    client = RemoteQueueClient(address, worker, retry_window=retry_window)
+    client = RemoteQueueClient(address, worker, retry_window=retry_window, compress_min=compress_min)
     executed = 0
     batch: list[dict[str, Any]] = []
     stop_heartbeat = threading.Event()
 
-    def _flush() -> None:
+    def _flush(*, claim: bool = False) -> dict[str, Any] | None:
         # Ownership of the records moves to the client here: even when the
         # upload raises, the batch is pending client-side under its assigned
         # sequence number and is replayed (not renumbered) by later flushes.
         nonlocal batch
         handed, batch = batch, []
-        client.report_batch(handed)
+        return client.report_batch(handed, claim=claim, claim_wait=claim_wait if claim else None)
 
     def _heartbeat_loop() -> None:
         while not stop_heartbeat.wait(heartbeat_interval):
@@ -603,13 +738,23 @@ def drain_remote(
     heartbeat_thread.start()
     try:
         idle_since = time.monotonic()
+        next_job: dict[str, Any] | None = None
         while max_jobs is None or executed < max_jobs:
-            job = client.claim()
+            if push:
+                # Use the job the last report's piggybacked claim handed
+                # back; otherwise long-poll so the server pushes the next
+                # job the moment one is enqueued.
+                job, next_job = next_job, None
+                if job is None:
+                    job = client.claim(wait=claim_wait)
+            else:
+                job = client.claim()
             if job is None:
                 _flush()
                 if time.monotonic() - idle_since > idle_timeout:
                     break
-                time.sleep(poll_interval)
+                if not push:  # a push claim already waited server-side
+                    time.sleep(poll_interval)
                 continue
             result_key = job.get("result_key")
             cached: dict[str, Any] | None = None
@@ -668,7 +813,9 @@ def drain_remote(
                 client.progress({"kind": "cell-finished", "digest": record["digest"], "record": record})
             except RemoteQueueError:
                 pass  # progress is best-effort; the batched upload is durable
-            if len(batch) >= batch_size:
+            if push:
+                next_job = _flush(claim=True)
+            elif len(batch) >= batch_size:
                 _flush()
             executed += 1
             idle_since = time.monotonic()
@@ -715,6 +862,9 @@ class RemoteWorkQueueBackend(WorkQueueBackend):
         idle_timeout: float = 10.0,
         timeout: float | None = None,
         store: ResultStore | str | Path | None = None,
+        push: bool = False,
+        claim_wait: float = 5.0,
+        compress_min: int | None = None,
     ) -> None:
         super().__init__(
             root,
@@ -728,6 +878,14 @@ class RemoteWorkQueueBackend(WorkQueueBackend):
         self.host = host
         self.port = port
         self.batch_size = batch_size
+        #: Spawn workers in server-push mode: idle claims long-poll and every
+        #: report piggybacks the next claim.  Outcomes are identical either
+        #: way; push trades batched uploads for fewer round-trips per cell.
+        self.push = push
+        self.claim_wait = claim_wait
+        #: Compression threshold spawned workers request in their hello
+        #: (``None`` leaves the wire uncompressed).
+        self.compress_min = compress_min
         self.server: QueueServer | None = None
         #: How long _teardown keeps the server alive waiting for batched
         #: uploads of outcomes that were already streamed as progress
@@ -803,7 +961,7 @@ class RemoteWorkQueueBackend(WorkQueueBackend):
     def _worker_command(self, queue: WorkQueue, worker_id: str) -> list[str]:
         address = self.address
         assert address is not None, "_setup starts the server before workers spawn"
-        return [
+        command = [
             sys.executable,
             "-m",
             "repro.experiments.worker",
@@ -820,6 +978,11 @@ class RemoteWorkQueueBackend(WorkQueueBackend):
             "--heartbeat-interval",
             str(max(self.lease / 4.0, 0.05)),
         ]
+        if self.push:
+            command += ["--mode", "push", "--claim-wait", str(self.claim_wait)]
+        if self.compress_min is not None:
+            command += ["--compress-min", str(self.compress_min)]
+        return command
 
 
 __all__ = [

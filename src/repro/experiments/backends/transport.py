@@ -9,14 +9,23 @@ nothing but these frames, so the payloads are exactly the job/outcome
 dictionaries the filesystem queue already stores — the transport adds
 framing, not a second serialisation format.
 
+Compression: the frame cap (64 MiB) leaves the length word's high bit
+free, so it marks zlib-deflated payloads.  Readers *always* accept
+compressed frames (decompressed under a hard cap, see
+:class:`FrameTooLargeError`); writers only compress when the caller passes
+``compress_min`` and the encoded body reaches it, and the queue protocol
+only does that after both peers advertised support in the ``hello``
+exchange — an uncompressed peer simply never receives a marked frame.
+
 Framing errors are typed so callers can tell the recoverable cases apart:
 
 * :class:`TruncatedFrameError` — the peer died mid-frame (a killed worker,
   a dropped connection); the partial frame is discarded and the connection
   is unusable, but the queue protocol makes re-sending safe.
-* :class:`FrameTooLargeError` — the declared length exceeds the cap, which
-  almost always means the peer is not speaking this protocol at all (a
-  stray HTTP client, a port scan); the connection is dropped.
+* :class:`FrameTooLargeError` — the declared (or decompressed) length
+  exceeds the cap, which almost always means the peer is not speaking this
+  protocol at all (a stray HTTP client, a port scan) or is feeding a
+  decompression bomb; the connection is dropped.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ import asyncio
 import json
 import socket
 import struct
+import zlib
 from typing import Any
 
 #: 4-byte big-endian unsigned frame length.
@@ -32,7 +42,17 @@ _HEADER = struct.Struct(">I")
 
 #: Default cap on one frame's payload.  Outcome batches are a few KiB each;
 #: anything near this size indicates a protocol mismatch, not a big batch.
+#: Kept below 2**31 so the length word's high bit is free for the
+#: compression flag.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: High bit of the length word: the payload is zlib-deflated.
+_FLAG_DEFLATE = 0x8000_0000
+
+#: Default "compress bodies at least this large" threshold negotiated by the
+#: hello exchange.  Small control frames (claims, heartbeats) stay cheap and
+#: readable; scenario payloads with large GraphSpecs shrink dramatically.
+COMPRESS_MIN_BYTES = 4 * 1024
 
 
 class TransportError(RuntimeError):
@@ -44,7 +64,7 @@ class TruncatedFrameError(TransportError):
 
 
 class FrameTooLargeError(TransportError):
-    """A frame header declared a payload larger than the configured cap."""
+    """A frame's declared or decompressed payload exceeds the configured cap."""
 
 
 def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
@@ -86,10 +106,50 @@ def _parse_body(body: bytes) -> dict[str, Any]:
     return message
 
 
-def write_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
-    """Send one JSON object as a length-prefixed frame."""
+def _frame_bytes(payload: dict[str, Any], compress_min: int | None) -> bytes:
+    """Header + body for one frame, deflating at or above ``compress_min``."""
     body = _encode_body(payload)
-    sock.sendall(_HEADER.pack(len(body)) + body)
+    word = len(body)
+    if compress_min is not None and len(body) >= compress_min:
+        body = zlib.compress(body, 6)
+        if len(body) > MAX_FRAME_BYTES:  # pragma: no cover - incompressible 64 MiB body
+            raise FrameTooLargeError(f"refusing to send a {len(body)}-byte compressed frame")
+        word = len(body) | _FLAG_DEFLATE
+    return _HEADER.pack(word) + body
+
+
+def _inflate_body(body: bytes, max_frame: int) -> bytes:
+    """Decompress a deflated payload, bounding the inflated size by the cap."""
+    decompressor = zlib.decompressobj()
+    try:
+        inflated = decompressor.decompress(body, max_frame + 1)
+    except zlib.error as error:
+        raise TransportError(f"frame payload is not valid zlib data: {error}") from error
+    if len(inflated) > max_frame or decompressor.unconsumed_tail:
+        raise FrameTooLargeError(f"compressed frame inflates past the {max_frame}-byte cap")
+    if not decompressor.eof:
+        raise TransportError("compressed frame payload is truncated")
+    return inflated
+
+
+def _split_word(word: int, max_frame: int) -> tuple[int, bool]:
+    """Split a header word into (payload length, deflated?), checking the cap."""
+    deflated = bool(word & _FLAG_DEFLATE)
+    length = word & ~_FLAG_DEFLATE
+    if length > max_frame:
+        raise FrameTooLargeError(f"frame declares {length} bytes (cap {max_frame})")
+    return length, deflated
+
+
+def write_frame(
+    sock: socket.socket, payload: dict[str, Any], *, compress_min: int | None = None
+) -> None:
+    """Send one JSON object as a length-prefixed frame.
+
+    ``compress_min`` enables zlib compression for bodies at least that many
+    bytes; pass it only to a peer that negotiated compression support.
+    """
+    sock.sendall(_frame_bytes(payload, compress_min))
 
 
 def read_frame(
@@ -99,25 +159,27 @@ def read_frame(
 
     Raises :class:`TruncatedFrameError` when the stream ends mid-frame (a
     partial header counts), :class:`FrameTooLargeError` on an implausible
-    length, and :class:`TransportError` when the payload is not a JSON
-    object.
+    declared or decompressed length, and :class:`TransportError` when the
+    payload is not a JSON object.
     """
     header = _recv_exactly(sock, _HEADER.size)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
-    if length > max_frame:
-        raise FrameTooLargeError(f"frame declares {length} bytes (cap {max_frame})")
+    (word,) = _HEADER.unpack(header)
+    length, deflated = _split_word(word, max_frame)
     body = _recv_exactly(sock, length) if length else b""
     if body is None:
         raise TruncatedFrameError("connection closed between frame header and payload")
+    if deflated:
+        body = _inflate_body(body, max_frame)
     return _parse_body(body)
 
 
-async def write_frame_async(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+async def write_frame_async(
+    writer: asyncio.StreamWriter, payload: dict[str, Any], *, compress_min: int | None = None
+) -> None:
     """Asyncio variant of :func:`write_frame` (same wire format, same cap)."""
-    body = _encode_body(payload)
-    writer.write(_HEADER.pack(len(body)) + body)
+    writer.write(_frame_bytes(payload, compress_min))
     await writer.drain()
 
 
@@ -138,17 +200,19 @@ async def read_frame_async(
         raise TruncatedFrameError(
             f"connection closed mid-frame ({len(error.partial)} of {_HEADER.size} bytes received)"
         ) from error
-    (length,) = _HEADER.unpack(header)
-    if length > max_frame:
-        raise FrameTooLargeError(f"frame declares {length} bytes (cap {max_frame})")
+    (word,) = _HEADER.unpack(header)
+    length, deflated = _split_word(word, max_frame)
     try:
         body = await reader.readexactly(length) if length else b""
     except asyncio.IncompleteReadError as error:
         raise TruncatedFrameError("connection closed between frame header and payload") from error
+    if deflated:
+        body = _inflate_body(body, max_frame)
     return _parse_body(body)
 
 
 __all__ = [
+    "COMPRESS_MIN_BYTES",
     "MAX_FRAME_BYTES",
     "TransportError",
     "TruncatedFrameError",

@@ -240,6 +240,25 @@ class SuiteResult:
             stats.observe(outcome)
         return groups
 
+    def crypto_stats(self) -> dict[str, int] | None:
+        """Suite-wide crypto fast-path totals, summed over outcome summaries.
+
+        ``None`` when no outcome reported the counters (custom executors that
+        predate them), which keeps those suites' exports unchanged.
+        """
+        totals = {"verify_calls": 0, "verify_cache_hits": 0, "canonical_cache_hits": 0}
+        reported = False
+        for outcome in self.outcomes:
+            summary = outcome.summary
+            if summary is None or "verify_calls" not in summary:
+                continue
+            reported = True
+            for name in totals:
+                value = summary.get(name)
+                if isinstance(value, (int, float)):
+                    totals[name] += int(value)
+        return totals if reported else None
+
     # Export ----------------------------------------------------------------
     def to_dict(self, *, group_by: str | GroupKey | None = "matrix") -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -258,6 +277,11 @@ class SuiteResult:
             # Lake-only keys: exports of runs without a store stay identical.
             payload["cache_hits"] = self.cache_hits
             payload["cache_misses"] = self.cache_misses
+        crypto = self.crypto_stats()
+        if crypto is not None:
+            # Only present when the outcomes carry the fast-path counters, so
+            # suites from counter-less custom executors export unchanged.
+            payload["crypto"] = crypto
         payload["outcomes"] = [outcome.to_dict() for outcome in self.outcomes]
         if group_by is not None:
             payload["groups"] = [

@@ -65,7 +65,10 @@ class SuiteExecutionError(RuntimeError):
         self.error = error
 
 
-@executor_identity("1")
+# Version 2: summaries gained the crypto fast-path counters (verify_calls,
+# verify_cache_hits, canonical_cache_hits), so lake entries computed by the
+# counter-less executor must not be replayed as hits.
+@executor_identity("2")
 def execute_scenario(scenario: Scenario) -> dict[str, Any]:
     """Default executor: build the run config, simulate, return the summary.
 

@@ -204,6 +204,27 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP mode: keep reconnecting to an unreachable server for this long (default: 60)",
     )
     parser.add_argument(
+        "--mode",
+        choices=("claim", "push"),
+        default="claim",
+        help="TCP mode: 'claim' polls for jobs; 'push' long-polls and piggybacks "
+        "the next claim on every report (default: claim)",
+    )
+    parser.add_argument(
+        "--claim-wait",
+        type=float,
+        default=5.0,
+        help="TCP push mode: seconds an idle claim long-polls server-side (default: 5)",
+    )
+    parser.add_argument(
+        "--compress-min",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="TCP mode: request zlib compression for frames at least this large "
+        "(default: uncompressed)",
+    )
+    parser.add_argument(
         "--lake",
         default=None,
         metavar="DIR",
@@ -231,6 +252,9 @@ def main(argv: list[str] | None = None) -> int:
             batch_size=options.batch_size,
             heartbeat_interval=options.heartbeat_interval,
             retry_window=options.retry_window,
+            mode=options.mode,
+            claim_wait=options.claim_wait,
+            compress_min=options.compress_min,
         )
     else:
         executed = drain(

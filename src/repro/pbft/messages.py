@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.crypto.aggregate import AggregateTag
 from repro.crypto.signatures import SignedMessage
 from repro.graphs.knowledge_graph import ProcessId
 
@@ -70,12 +71,18 @@ class Commit:
 
 @dataclass(frozen=True, slots=True)
 class PreparedCertificate:
-    """Proof that a value gathered a prepare quorum in some view."""
+    """Proof that a value gathered a prepare quorum in some view.
+
+    Carries either the full set of signed prepare votes (``prepares``) or,
+    when the run opts into aggregation, a single :class:`AggregateTag` over
+    the common prepare payload (``aggregate``, with ``prepares`` empty).
+    """
 
     group: GroupKey
     view: int
     value: Any
     prepares: frozenset[SignedMessage]
+    aggregate: AggregateTag | None = None
 
 
 @dataclass(frozen=True, slots=True)

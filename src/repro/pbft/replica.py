@@ -28,6 +28,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.crypto.aggregate import aggregate_signatures, verify_aggregate
 from repro.crypto.signatures import KeyRegistry, SignedMessage, SigningKey
 from repro.graphs.knowledge_graph import ProcessId
 from repro.pbft.messages import (
@@ -59,6 +60,11 @@ class PbftConfig:
     timeout_growth: float = 1.5
     quorum_rule: str = "paper"  # "paper" or "classic"
     max_views: int = 64
+    #: Fold prepare quorums into one :class:`~repro.crypto.aggregate.AggregateTag`
+    #: instead of carrying 2f+1 signed votes.  Off by default so committed
+    #: trajectories stay byte-identical; opt in per scenario via
+    #: ``protocol_options={"aggregate_quorum_certs": True}``.
+    aggregate_certificates: bool = False
 
     def quorum(self, group_size: int, fault_threshold: int) -> int:
         if self.quorum_rule == "classic":
@@ -256,9 +262,18 @@ class SingleShotPbft:
             self._on_prepared(message.view, message.value, slot)
 
     def _on_prepared(self, view: int, value: Any, votes: dict[ProcessId, SignedMessage]) -> None:
-        certificate = PreparedCertificate(
-            group=self.group, view=view, value=value, prepares=frozenset(votes.values())
-        )
+        if self.config.aggregate_certificates:
+            certificate = PreparedCertificate(
+                group=self.group,
+                view=view,
+                value=value,
+                prepares=frozenset(),
+                aggregate=aggregate_signatures(votes.values()),
+            )
+        else:
+            certificate = PreparedCertificate(
+                group=self.group, view=view, value=value, prepares=frozenset(votes.values())
+            )
         if self.locked is None or view >= self.locked.view:
             self.locked = certificate
         if view not in self._commit_sent:
@@ -311,19 +326,31 @@ class SingleShotPbft:
             return True
         if certificate.group != self.group:
             return False
+        expected = _prepare_payload(self.group, certificate.view, certificate.value)
+        if certificate.aggregate is not None:
+            # Aggregated form: one tag over the common prepare payload.  The
+            # signer set is the voter set, so the quorum/membership checks
+            # move onto it; distinctness is structural (it is a set).
+            signers = certificate.aggregate.signers
+            if len(signers) < self._quorum:
+                return False
+            if not signers <= self.group.members:
+                return False
+            return verify_aggregate(self.registry, expected, certificate.aggregate)
         if len(certificate.prepares) < self._quorum:
             return False
         voters: set[ProcessId] = set()
-        expected = _prepare_payload(self.group, certificate.view, certificate.value)
+        prepares: list[SignedMessage] = []
         for signed in certificate.prepares:
             if signed.message != expected:
                 return False
             if signed.signer not in self.group.members or signed.signer in voters:
                 return False
-            if not self.registry.verify(signed):
-                return False
             voters.add(signed.signer)
-        return True
+            prepares.append(signed)
+        # All votes share one payload, so the batch costs one canonical
+        # encoding (memoised) plus one HMAC per voter not already cached.
+        return all(self.registry.verify_batch(prepares))
 
     def handle_view_change(self, sender: ProcessId, message: ViewChange) -> None:
         if message.voter != sender or message.new_view <= 0:

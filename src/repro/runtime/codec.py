@@ -23,6 +23,7 @@ import json
 from typing import Any
 
 from repro.core.messages import DecidedValue, GetDecidedValue, GetPds, PdRecord, SetPds
+from repro.crypto.aggregate import AggregateTag
 from repro.crypto.signatures import SignedMessage
 from repro.pbft.messages import (
     Commit,
@@ -68,6 +69,7 @@ for _cls in (
     DecidedValue,
     # Signatures.
     SignedMessage,
+    AggregateTag,
     # Inner PBFT consensus.
     GroupKey,
     PrePrepare,

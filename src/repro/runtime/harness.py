@@ -112,6 +112,7 @@ async def _run_live(config: RunConfig, *, time_scale: float, host: str) -> RunRe
         trace,
         virtual_duration=duration,
         events_processed=runtime.stats.messages_received + runtime.stats.timer_fires,
+        registry=registry,
         runtime_name="live",
         live=runtime.stats,
     )

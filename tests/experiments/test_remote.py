@@ -176,6 +176,178 @@ class TestServerOps:
             client.close()
 
 
+class TestCompressionNegotiation:
+    def test_client_requesting_compression_gets_an_acked_threshold(self, tmp_path):
+        queue = enqueue(tmp_path, small_matrix(replicates=1).scenarios())
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(
+                server.address, "w1", retry_window=5.0, compress_min=512
+            )
+            assert client.claim() is not None  # forces the connect + hello
+            assert client.negotiated_compress_min == 512
+            # Large payloads still round-trip through compressed frames.
+            big = {"blob": "x" * 100_000}
+            with pytest.raises(RemoteQueueError, match="unknown op"):
+                client.call(dict(big, op="frobnicate"))
+            client.close()
+
+    def test_non_requesting_client_stays_uncompressed(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            client.heartbeat()
+            assert client.negotiated_compress_min is None
+            client.close()
+
+    def test_server_never_compresses_to_a_peer_that_did_not_negotiate(self, tmp_path):
+        # A raw peer speaking the protocol without the compress extension
+        # must never receive a marked frame, however large the reply — the
+        # reply arrives readable with a plain-length header word.
+        from repro.experiments.backends.transport import read_frame, write_frame
+
+        queue = WorkQueue(tmp_path / "q")
+        store_dir = tmp_path / "lake"
+        from repro.experiments.lake import ResultStore
+
+        store = ResultStore(store_dir)
+        store.put("big-key", {"summary": {"blob": "y" * 100_000}, "error": None, "wall_time": 0.0})
+        with QueueServer(queue, store=store) as server:
+            with socket.create_connection(server.address, timeout=5.0) as peer:
+                from repro.experiments.backends.remote import PROTOCOL_VERSION
+
+                write_frame(peer, {"op": "hello", "worker": "plain", "protocol": PROTOCOL_VERSION})
+                hello = read_frame(peer)
+                assert hello["ok"] and "compress" not in hello
+                write_frame(peer, {"op": "lake-get", "worker": "plain", "key": "big-key"})
+                # Read the raw header word: the compression flag must be clear.
+                header = b""
+                while len(header) < 4:
+                    header += peer.recv(4 - len(header))
+                (word,) = struct.unpack(">I", header)
+                assert not word & 0x8000_0000
+                body = b""
+                while len(body) < word:
+                    body += peer.recv(word - len(body))
+                assert json.loads(body)["payload"]["summary"]["blob"] == "y" * 100_000
+
+    def test_hello_advertises_features(self, tmp_path):
+        from repro.experiments.backends.remote import PROTOCOL_VERSION
+        from repro.experiments.backends.transport import read_frame, write_frame
+
+        queue = WorkQueue(tmp_path / "q")
+        with QueueServer(queue) as server:
+            with socket.create_connection(server.address, timeout=5.0) as peer:
+                write_frame(peer, {"op": "hello", "worker": "w1", "protocol": PROTOCOL_VERSION})
+                reply = read_frame(peer)
+        assert set(reply["features"]) >= {"compress", "push"}
+
+
+class TestServerPush:
+    def test_long_poll_claim_returns_a_job_enqueued_while_parked(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")  # starts empty
+        cells = small_matrix(replicates=1).scenarios()
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+
+            def enqueue_later():
+                time.sleep(0.3)
+                queue.enqueue(list(enumerate(cells[:1])), EXECUTOR_REF)
+
+            feeder = threading.Thread(target=enqueue_later)
+            started = time.monotonic()
+            feeder.start()
+            job = client.claim(wait=10.0)
+            elapsed = time.monotonic() - started
+            feeder.join()
+            client.close()
+        assert job is not None  # pushed once enqueued, not after the full wait
+        assert 0.2 <= elapsed < 5.0
+
+    def test_long_poll_claim_times_out_empty(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            started = time.monotonic()
+            assert client.claim(wait=0.3) is None
+            assert time.monotonic() - started >= 0.25
+            client.close()
+
+    def test_report_piggybacks_the_next_claim(self, tmp_path):
+        cells = small_matrix(replicates=2).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            first = client.claim()
+            record = {
+                "digest": first["digest"],
+                "scenario": None,
+                "summary": {"ok": True},
+                "error": None,
+                "wall_time": 0.0,
+                "worker": "w1",
+            }
+            second = client.report_batch([record], claim=True)
+            assert second is not None and second["digest"] != first["digest"]
+            assert queue.snapshot()["claimed"] == 1  # first reported, second claimed
+            client.close()
+
+    def test_piggyback_claim_with_empty_pending_just_claims(self, tmp_path):
+        cells = small_matrix(replicates=1).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            client = RemoteQueueClient(server.address, "w1", retry_window=5.0)
+            job = client.report_batch([], claim=True)
+            assert job is not None
+            client.close()
+
+    def test_push_drain_executes_and_journals_everything(self, tmp_path):
+        cells = small_matrix(replicates=2).scenarios()
+        queue = enqueue(tmp_path, cells)
+        with QueueServer(queue) as server:
+            executed = drain_remote(
+                server.address,
+                worker_id="push-w1",
+                idle_timeout=0.3,
+                poll_interval=0.02,
+                mode="push",
+                claim_wait=0.1,
+                compress_min=512,
+            )
+        assert executed == len(cells)
+        assert queue.is_drained()
+        assert len(shard_digests(queue)) == len(cells)
+
+    def test_push_mode_rejects_unknown_modes(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            drain_remote(("127.0.0.1", 1), mode="pull")
+
+    def test_push_and_claim_suites_are_bit_identical(self, tmp_path):
+        cells = small_matrix(replicates=2).scenarios()
+        claim_suite = SuiteRunner(
+            backend=RemoteWorkQueueBackend(
+                tmp_path / "q-claim", workers=2, poll_interval=0.02, timeout=120.0
+            ),
+            executor=remote_executor,
+        ).run(cells)
+        push_suite = SuiteRunner(
+            backend=RemoteWorkQueueBackend(
+                tmp_path / "q-push",
+                workers=2,
+                poll_interval=0.02,
+                timeout=120.0,
+                push=True,
+                claim_wait=0.2,
+                compress_min=1024,
+            ),
+            executor=remote_executor,
+        ).run(cells)
+        assert push_suite.summaries() == claim_suite.summaries()
+        assert [o.scenario.cell_digest() for o in push_suite] == [
+            o.scenario.cell_digest() for o in claim_suite
+        ]
+        assert not push_suite.errors and not push_suite.skipped
+
+
 class TestBatchReplayIdempotence:
     def test_replayed_batch_is_journaled_once(self, tmp_path):
         cells = small_matrix(replicates=1).scenarios()
